@@ -1,0 +1,67 @@
+"""Ablation: the charge-sharing capacitor ratio C_hold / C_sample.
+
+DESIGN.md calls the ratio out as the key electrical degree of freedom of
+the passive encoder (paper Eq. 1): a larger ratio flattens the
+accumulation weights (better-conditioned effective matrix) but shrinks the
+per-sample gain.  This ablation quantifies both effects and checks that
+the default (ratio 8) sits in the flat quality region.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.cs.charge_sharing import ChargeSharingConfig, ChargeSharingEncoder
+from repro.cs.diagnostics import weight_dynamic_range
+from repro.cs.dictionaries import dct_basis
+from repro.cs.matrices import srbm_balanced
+from repro.cs.reconstruction import Reconstructor
+from repro.metrics.quality import nmse
+
+
+def run_cap_ratio_ablation(harness):
+    """Reconstruction NMSE and weight dynamic range vs capacitor ratio."""
+    frames = harness.records[:16].reshape(-1, 384)[:64]
+    matrix = srbm_balanced(150, 384, 2, seed=3)
+    basis = dct_basis(384)
+    results = {}
+    for ratio in (1.0, 2.0, 4.0, 8.0, 16.0, 32.0):
+        config = ChargeSharingConfig(
+            c_sample=2e-15, c_hold=ratio * 2e-15, kt=0.0
+        )
+        encoder = ChargeSharingEncoder(matrix, config, seed=1)
+        measurements = encoder.encode(frames)
+        reconstructor = Reconstructor(basis=basis, method="fista", lam_rel=0.002, n_iter=200)
+        recovered = reconstructor.recover(encoder.phi_effective, measurements)
+        results[ratio] = {
+            "nmse": nmse(frames, recovered),
+            "dynamic_range": weight_dynamic_range(encoder.phi_effective),
+        }
+    return results
+
+
+def test_ablation_cap_ratio(benchmark, harness):
+    results = run_once(benchmark, run_cap_ratio_ablation, harness)
+    print()
+    for ratio, metrics in results.items():
+        print(
+            f"ratio={ratio:5.1f}  weight dyn range={metrics['dynamic_range']:8.1f}  "
+            f"NMSE={metrics['nmse']:.4f}"
+        )
+
+    ratios = sorted(results)
+    # Weight dynamic range shrinks monotonically with the ratio (Eq. 1:
+    # retention b -> 1 flattens the exponential weighting).
+    drs = [results[r]["dynamic_range"] for r in ratios]
+    assert all(a >= b - 1e-9 for a, b in zip(drs, drs[1:]))
+
+    # Equal capacitors (ratio 1) give a far wider weight spread: the
+    # paper's Eq. 1 halves the stored charge per share (2^(degree-1)
+    # range) while ratio 8 only decays by (9/8) per share.
+    assert results[1.0]["dynamic_range"] > 10 * results[8.0]["dynamic_range"]
+
+    # Reconstruction quality: the default ratio 8 must clearly beat
+    # ratio 1 and sit within 2x of the best NMSE in the sweep.
+    best_nmse = min(m["nmse"] for m in results.values())
+    assert results[8.0]["nmse"] < results[1.0]["nmse"]
+    assert results[8.0]["nmse"] <= 2.0 * best_nmse
+    assert np.isfinite(best_nmse)

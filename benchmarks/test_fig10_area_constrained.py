@@ -1,0 +1,34 @@
+"""Fig. 10 benchmark: area-constrained accuracy/power Pareto fronts.
+
+The paper's finding: **constraining the total capacitance limits the
+maximum achievable accuracy** -- tight caps exclude the CS hold-capacitor
+bank, so the CS advantage only materialises when the area increase is
+tolerated (e.g. on bondpad-limited dies).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig10 import DEFAULT_AREA_CAPS, analyze_fig10
+
+
+def test_fig10_area_constrained(benchmark, search_sweep):
+    result = run_once(benchmark, analyze_fig10, search_sweep, area_caps=DEFAULT_AREA_CAPS)
+    print("\n" + result.render())
+
+    fronts = result.fronts
+    assert len(fronts) == len(DEFAULT_AREA_CAPS)
+
+    # The tightest cap must exclude the CS branch (its hold bank exceeds
+    # the budget); the loosest cap must include it.
+    assert not fronts[0].contains_cs()
+    assert fronts[-1].contains_cs()
+
+    # Relaxing the cap never reduces the achievable accuracy, and at
+    # least one relaxation strictly improves it (the Fig. 10 trend).
+    accuracies = [front.max_accuracy for front in fronts]
+    assert all(a is not None for a in accuracies)
+    assert all(a <= b + 1e-12 for a, b in zip(accuracies, accuracies[1:]))
+    assert accuracies[-1] > accuracies[0]
+
+    # Relaxing the cap also unlocks lower-power designs (the CS corner).
+    min_powers = [front.min_power_uw for front in fronts]
+    assert min_powers[-1] < min_powers[0]

@@ -1,0 +1,41 @@
+"""Fig. 4 benchmark: LNA input-referred-noise sweep on the baseline chain.
+
+Regenerates the paper's demonstration sweep (sine input, noise floor
+1-20 uVrms) and asserts its three published shapes:
+
+* SNDR falls monotonically with the noise floor;
+* total power falls steeply (the LNA noise bound scales as 1/vn^2) and
+  flattens into the transmitter floor;
+* the power distribution hands over from LNA-dominated to TX-dominated.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import DEFAULT_NOISE_SWEEP_UV, render_fig4, run_fig4
+
+
+def test_fig4_noise_sweep(benchmark):
+    rows = run_once(benchmark, run_fig4, noise_values_uv=DEFAULT_NOISE_SWEEP_UV)
+    print("\n" + render_fig4(rows))
+
+    sndrs = [row.sndr_db for row in rows]
+    powers = [row.power_uw for row in rows]
+
+    # SNDR decreases monotonically (0.5 dB slack for FFT estimation noise).
+    assert all(a >= b - 0.5 for a, b in zip(sndrs, sndrs[1:]))
+    assert sndrs[0] - sndrs[-1] > 10.0
+
+    # Power decreases monotonically and spans a large dynamic range.
+    assert all(a >= b - 1e-9 for a, b in zip(powers, powers[1:]))
+    assert powers[0] > 3.0 * powers[-1]
+
+    # 1/vn^2 law of the LNA term: from 1 uV to 2 uV the LNA power drops 4x.
+    lna = {row.noise_uv: row.breakdown_uw["lna"] for row in rows}
+    assert lna[1.0] / lna[2.0] == 4.0 or abs(lna[1.0] / lna[2.0] - 4.0) < 0.1
+
+    # Dominance shift: LNA rules the low-noise end, TX the high-noise end.
+    assert rows[0].dominant_block() == "lna"
+    assert rows[-1].dominant_block() == "transmitter"
+
+    # At the high-noise end the power floor is the transmitter's
+    # fs * N * E_bit = 4.3 uW (Table II).
+    assert abs(rows[-1].breakdown_uw["transmitter"] - 4.3008) < 0.01

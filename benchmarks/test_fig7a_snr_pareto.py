@@ -1,0 +1,46 @@
+"""Fig. 7 a) benchmark: SNR-vs-power Pareto fronts of both architectures.
+
+The paper's reading: **the CS front-end wins at the low-SNR / low-power
+end, the classical chain wins at high SNR** -- the passive encoder's
+reconstruction quality saturates while the baseline keeps improving with
+more power.  Asserted here as:
+
+* the CS front extends to lower power than any baseline point;
+* the baseline front reaches higher SNR than any CS point;
+* both fronts are monotone (more power -> at least as much SNR).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import analyze_fig7, max_quality, render_front
+
+
+def test_fig7a_snr_pareto(benchmark, search_sweep):
+    result = run_once(benchmark, analyze_fig7, search_sweep)
+    print("\nbaseline SNR front:\n" + render_front(result.snr_front_baseline, "snr_db"))
+    print("\ncs SNR front:\n" + render_front(result.snr_front_cs, "snr_db"))
+
+    assert result.snr_front_baseline, "baseline front is empty"
+    assert result.snr_front_cs, "CS front is empty"
+
+    # CS reaches power levels below the baseline's minimum (compression
+    # cuts the dominant TX term).
+    min_cs_power = min(e.metric("power_uw") for e in result.snr_front_cs)
+    min_baseline_power = min(e.metric("power_uw") for e in result.snr_front_baseline)
+    assert min_cs_power < min_baseline_power
+
+    # The classical chain wins at the high-SNR end (reconstruction
+    # saturates the CS quality).
+    assert max_quality(result.snr_front_baseline, "snr_db") > max_quality(
+        result.snr_front_cs, "snr_db"
+    )
+
+    # Pareto fronts are monotone by construction: sorted by power, SNR
+    # must be non-decreasing.
+    for front in (result.snr_front_baseline, result.snr_front_cs):
+        snrs = [e.metric("snr_db") for e in front]
+        assert all(a <= b + 1e-9 for a, b in zip(snrs, snrs[1:]))
+
+    # Crossover: at the lowest CS power there is NO baseline point at all,
+    # i.e. CS offers operating points the classical system cannot reach.
+    baseline_powers = [e.metric("power_uw") for e in result.baseline]
+    assert min_cs_power < min(baseline_powers)

@@ -1,0 +1,39 @@
+"""Fig. 8 benchmark: per-block power breakdown of the two optimal points.
+
+The paper's observations, asserted on the reproduced optima:
+
+* the CS optimum spends much less **transmitter** power (compression);
+* it also spends less (or at most equal) **LNA** power -- the non-obvious
+  averaging-effect insight: CS tolerates a higher input noise floor;
+* the **CS encoder** adds digital power, but less than the savings.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import analyze_fig8
+
+
+def test_fig8_power_breakdown(benchmark, search_sweep, min_accuracy):
+    result = run_once(benchmark, analyze_fig8, search_sweep, min_accuracy=min_accuracy)
+    print("\n" + result.savings_table())
+
+    # Transmitter saving is the headline compression effect.
+    assert result.delta_uw("transmitter") < 0
+
+    # LNA power at the CS optimum is no higher than at the baseline
+    # optimum (strictly lower when the optima sit at different noise
+    # floors -- the paper's averaging-effect finding).
+    assert result.delta_uw("lna") <= 1e-9
+
+    # The encoder's digital adder exists but is smaller than the total
+    # TX+LNA saving (paper: "only a marginal increase").
+    encoder_cost = result.delta_uw("cs_encoder")
+    assert encoder_cost > 0
+    saving = -(result.delta_uw("transmitter") + result.delta_uw("lna"))
+    assert encoder_cost < saving
+
+    # Net: the CS optimum consumes less total power.
+    assert result.cs.metric("power_uw") < result.baseline.metric("power_uw")
+
+    # Both optima satisfy the accuracy bound they were selected under.
+    assert result.baseline.metric("accuracy") >= min_accuracy
+    assert result.cs.metric("accuracy") >= min_accuracy

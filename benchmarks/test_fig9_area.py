@@ -1,0 +1,46 @@
+"""Fig. 9 benchmark: accuracy vs total capacitor area.
+
+The paper's finding: the CS architecture costs **significantly more
+capacitor area** than the baseline (the M-channel hold bank), the price of
+its power saving.  Asserted as a median area ratio well above 1 and
+non-overlapping area scales for the M values of the sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9 import analyze_fig9
+from repro.power.area import chain_area
+from repro.power.technology import DesignPoint
+
+
+def test_fig9_area(benchmark, search_sweep):
+    result = run_once(benchmark, analyze_fig9, search_sweep)
+    print("\n" + result.render())
+    print(f"\nmedian area ratio (cs / baseline): {result.area_ratio():.1f}x")
+
+    # CS costs several times the baseline capacitor area.
+    assert result.area_ratio() > 2.0
+
+    # The baseline area is dominated by the DAC array and does not depend
+    # on the noise sweep: its range collapses per resolution.
+    base_lo, base_hi = result.area_range("baseline")
+    assert base_hi <= 1.05 * max(
+        chain_area(DesignPoint(n_bits=n)).units for n in (6, 7, 8)
+    )
+
+    # CS area grows with M (more hold capacitors).
+    area_by_m = {}
+    for evaluation in result.cs:
+        area_by_m.setdefault(evaluation.point.cs_m, set()).add(
+            round(evaluation.metric("area_units"), 3)
+        )
+    ms = sorted(area_by_m)
+    if len(ms) >= 2:
+        for smaller, larger in zip(ms, ms[1:]):
+            assert max(area_by_m[smaller]) < min(area_by_m[larger])
+
+    # Closed-form check of the area model at the paper's geometry: the
+    # M=150 encoder adds s*C_sample + M*C_hold on top of the DAC array.
+    point = DesignPoint(n_bits=8, use_cs=True, cs_m=150)
+    report = chain_area(point)
+    expected_cs_cap = 2 * point.cs_sample_capacitance + 150 * point.cs_hold_capacitance
+    assert abs(report.cs_capacitance - expected_cs_cap) < 1e-18

@@ -1,0 +1,43 @@
+"""Table III benchmark: technology constants and the search space.
+
+Renders both halves of Table III and checks the derived clocking rules
+and the search-space enumeration (24 baseline + 72 CS grid points at full
+paper density).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table3 import paper_search_space, render_table3, space_summary
+from repro.power.technology import GPDK045, DesignPoint
+
+
+def test_table3_parameters(benchmark):
+    table = run_once(benchmark, render_table3)
+    print("\n" + table)
+
+    # Technology constants exactly as published.
+    assert GPDK045.c_logic == pytest.approx(1e-15)
+    assert GPDK045.cu_min == pytest.approx(1e-15)
+    assert GPDK045.i_leak == pytest.approx(1e-12)
+    assert GPDK045.e_bit == pytest.approx(1e-9)
+    assert GPDK045.v_t == pytest.approx(25.27e-3)
+    assert GPDK045.gm_over_id == pytest.approx(20.0)
+
+    # Clocking relations of the design half.
+    point = DesignPoint()
+    assert point.f_sample == pytest.approx(2.1 * 256)
+    assert point.f_clk == pytest.approx((point.n_bits + 1) * point.f_sample)
+    assert point.bw_lna == pytest.approx(3 * 256)
+    assert point.v_dd == point.v_fs == point.v_ref == 2.0
+
+    # The full search space enumerates as in the paper.
+    summary = space_summary()
+    assert summary["baseline_points"] == 24
+    assert summary["cs_points"] == 72
+    assert summary["total_points"] == 96
+
+    # Every grid point is a valid design point.
+    points = list(paper_search_space().grid())
+    assert len(points) == 96
+    assert sum(p.use_cs for p in points) == 72

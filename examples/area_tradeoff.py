@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Area-aware pathfinding: the Fig. 9 / Fig. 10 trade-off.
+
+The CS architecture buys its power saving with capacitor area (M hold
+capacitors against the baseline's DAC array).  This example:
+
+1. prints the capacitor inventory of representative design points
+   (Fig. 9's metric: total capacitance in C_u,min units);
+2. re-runs the accuracy/power Pareto extraction under tightening area
+   caps (Fig. 10) to show the cap limiting the achievable accuracy;
+3. shows how a designer would read the result (bondpad-limited dies can
+   afford the CS area; tiny dies cannot).
+
+Run:  python examples/area_tradeoff.py             (smoke scale)
+      REPRO_SCALE=small python examples/area_tradeoff.py
+"""
+
+from repro.experiments import analyze_fig10, analyze_fig9, run_search_space
+from repro.power import DesignPoint, chain_area
+
+
+def main() -> None:
+    print("--- capacitor inventory of representative points (Fig. 9 metric) ---")
+    for point in (
+        DesignPoint(n_bits=8, lna_noise_rms=2e-6),
+        DesignPoint(n_bits=6, lna_noise_rms=2e-6),
+        DesignPoint(n_bits=8, lna_noise_rms=8e-6, use_cs=True, cs_m=75),
+        DesignPoint(n_bits=8, lna_noise_rms=8e-6, use_cs=True, cs_m=192),
+    ):
+        report = chain_area(point)
+        print(f"\n{point.describe()}  ->  {report.units:.0f} x Cu_min "
+              f"({report.area_um2:.0f} um^2)")
+        print(report.as_table())
+
+    print("\n--- sweeping the search space for the area study ---")
+    sweep = run_search_space()
+    fig9 = analyze_fig9(sweep)
+    base_lo, base_hi = fig9.area_range("baseline")
+    cs_lo, cs_hi = fig9.area_range("cs")
+    print(f"baseline area range: {base_lo:.0f} - {base_hi:.0f} x Cu_min")
+    print(f"cs area range:       {cs_lo:.0f} - {cs_hi:.0f} x Cu_min")
+    print(f"median area ratio (cs / baseline): {fig9.area_ratio():.1f}x")
+
+    print("\n--- Fig. 10: accuracy under area constraints ---")
+    fig10 = analyze_fig10(sweep)
+    print(fig10.render())
+    print(
+        "\nreading: tight caps exclude the hold-capacitor bank, so the CS "
+        "branch (and with it the highest-accuracy/lowest-power corners) only "
+        "becomes available when the area budget is relaxed."
+    )
+
+
+if __name__ == "__main__":
+    main()

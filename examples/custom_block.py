@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Extending the library: model a NEW block and see its system impact.
+
+The paper positions EffiCSense as an *open* framework: Section III walks
+through adding the passive CS encoder to the library (functional model +
+power model), then re-running the pathfinding.  This example repeats that
+workflow for a simpler block -- a chopper that suppresses the LNA's 1/f
+noise at the cost of extra switching power -- following the same recipe:
+
+1. subclass ``Block`` with a vectorised functional model;
+2. override ``power()`` with an analytical estimate in terms of the
+   design point;
+3. drop the block into an existing chain and compare system metrics.
+
+The polished version of this block graduated into the library as
+``repro.blocks.Chopper`` -- this walkthrough keeps the from-scratch
+definition so the extension recipe stays visible end to end.
+
+Run:  python examples/custom_block.py
+"""
+
+import numpy as np
+
+from repro.blocks import build_baseline_chain, sine
+from repro.core import Block, Signal, SimulationContext, Simulator
+from repro.metrics import sndr_sine
+from repro.power import DesignPoint
+from repro.util import MICRO
+
+
+class Chopper(Block):
+    """Chopper stabilisation modelled at the behavioural level.
+
+    Functional model: 1/f (flicker) noise that the plain LNA would add is
+    injected here as correlated noise, attenuated by the chopping factor.
+    Power model: the chopper clock toggles four switch gates at
+    ``chop_ratio * f_sample``.
+    """
+
+    def __init__(
+        self,
+        flicker_rms: float,
+        chop_ratio: int = 8,
+        suppression: float = 20.0,
+        name: str = "chopper",
+    ):
+        super().__init__(name)
+        self.flicker_rms = float(flicker_rms)
+        self.chop_ratio = int(chop_ratio)
+        self.suppression = float(suppression)
+
+    def process(self, signal: Signal, ctx: SimulationContext) -> Signal:
+        rng = ctx.rng(self.name)
+        # Residual flicker noise after chopping: 1/f-shaped, suppressed.
+        white = rng.normal(size=signal.data.size)
+        spectrum = np.fft.rfft(white)
+        freqs = np.fft.rfftfreq(signal.data.size, d=1.0 / signal.sample_rate)
+        freqs[0] = freqs[1]
+        shaped = np.fft.irfft(spectrum / np.sqrt(freqs), n=signal.data.size)
+        shaped *= self.flicker_rms / self.suppression / max(np.std(shaped), 1e-30)
+        return signal.replaced(data=signal.data + shaped)
+
+    def power(self, point: DesignPoint) -> dict[str, float]:
+        f_chop = self.chop_ratio * point.f_sample
+        tech = point.technology
+        return {"chopper": 4 * tech.c_logic * point.v_dd**2 * f_chop}
+
+
+def main() -> None:
+    point = DesignPoint(n_bits=8, lna_noise_rms=3e-6)
+    amplitude = 0.9 * point.v_fs / 2 / point.lna_gain
+    tone = sine(frequency=40.0, amplitude=amplitude, sample_rate=point.f_sample, n_samples=8192)
+    flicker = 6e-6  # 1/f noise an un-chopped bio-LNA would exhibit
+
+    # System A: plain chain, flicker noise fully present (modelled by a
+    # chopper block with suppression 1).
+    plain = build_baseline_chain(point, seed=1)
+    plain.insert_before("lna", Chopper(flicker, suppression=1.0, name="no_chop"))
+    result_plain = Simulator(plain, point, seed=7).run(tone)
+
+    # System B: chopped chain -- flicker suppressed 20x, small clock cost.
+    chopped = build_baseline_chain(point, seed=1)
+    chopped.insert_before("lna", Chopper(flicker, suppression=20.0))
+    result_chopped = Simulator(chopped, point, seed=7).run(tone)
+
+    for name, result in (("without chopper", result_plain), ("with chopper", result_chopped)):
+        sndr = sndr_sine(result.tap("adc").data)
+        extra = {k: v for k, v in result.power.blocks.items() if k in ("chopper", "no_chop")}
+        extra_uw = sum(extra.values()) / MICRO
+        print(
+            f"{name:<18} SNDR = {sndr:6.2f} dB   total = "
+            f"{result.power.total_uw:6.3f} uW   (chopper clock: {extra_uw:.4f} uW)"
+        )
+
+    print(
+        "\nThe chopper recovers the flicker-limited SNDR for microwatt-level "
+        "clock cost -- the same library-extension workflow the paper uses "
+        "for the CS encoder in Section III."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one front-end and read quality + power together.
+
+This is the 60-second tour of EffiCSense's core idea: a single simulation
+of a block chain yields BOTH the processed waveform (graded as SNDR) and
+the per-block power estimate, because every block couples a functional
+model with a Table II power model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.blocks import build_baseline_chain, sine
+from repro.core import Simulator
+from repro.metrics import analyze_sine
+from repro.power import DesignPoint
+
+
+def main() -> None:
+    # 1. Describe the architecture: an 8-bit baseline front-end with a
+    #    2 uVrms LNA noise floor (all other Table III defaults).
+    point = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+    print("design point:", point.describe())
+    print(f"  f_sample = {point.f_sample:.1f} Hz, f_clk = {point.f_clk:.1f} Hz")
+    print(f"  LNA bandwidth = {point.bw_lna:.0f} Hz, load = {point.lna_load_capacitance:.2e} F")
+
+    # 2. Build the chain (LNA -> S&H -> SAR ADC -> TX) and a test tone at
+    #    90 % of the input-referred full scale.
+    chain = build_baseline_chain(point, seed=1)
+    print("\nchain:", " -> ".join(chain.block_names()))
+    amplitude = 0.9 * point.v_fs / 2 / point.lna_gain
+    tone = sine(frequency=40.0, amplitude=amplitude, sample_rate=point.f_sample, n_samples=8192)
+
+    # 3. One run produces the waveform AND the power budget.
+    result = Simulator(chain, point, seed=42).run(tone)
+    analysis = analyze_sine(result.tap("adc").data)
+    print(f"\nsignal quality: {analysis}")
+    print("\npower budget:")
+    print(result.power.as_table())
+
+    # 4. The pathfinding question: what does halving the noise floor cost?
+    quiet = point.with_(lna_noise_rms=1e-6)
+    quiet_result = Simulator(build_baseline_chain(quiet, seed=1), quiet, seed=42).run(tone)
+    quiet_analysis = analyze_sine(quiet_result.tap("adc").data)
+    print(
+        f"\nhalving the noise floor: SNDR {analysis.sndr_db:.1f} -> "
+        f"{quiet_analysis.sndr_db:.1f} dB costs "
+        f"{result.power.total_uw:.2f} -> {quiet_result.power.total_uw:.2f} uW "
+        "(the LNA noise bound scales as 1/vn^2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the `wheel` package (needed for PEP-517 editable builds) is absent.
+Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""Signal sources.
+
+Sources create the :class:`~repro.core.signal.Signal` that enters a chain:
+calibration tones (single sine, multitone — used by the Fig. 4 SNDR sweep),
+and dataset-backed sources that replay recorded/synthetic sensor data
+(Step 4 of the paper's flow).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.signal import Signal
+from repro.util.validation import check_non_negative, check_positive, check_positive_int
+
+
+def sine(
+    frequency: float,
+    amplitude: float,
+    sample_rate: float,
+    duration: float | None = None,
+    n_samples: int | None = None,
+    phase: float = 0.0,
+    dc_offset: float = 0.0,
+    coherent: bool = True,
+) -> Signal:
+    """A single-tone test signal.
+
+    With ``coherent=True`` (default) the frequency is snapped to the
+    nearest nonzero integer number of cycles in the record, so FFT-based
+    SNDR analysis needs no windowing -- the standard ADC test practice.
+
+    Exactly one of ``duration`` / ``n_samples`` must be given.
+    """
+    check_positive("frequency", frequency)
+    check_positive("amplitude", amplitude)
+    check_positive("sample_rate", sample_rate)
+    if (duration is None) == (n_samples is None):
+        raise ValueError("specify exactly one of duration / n_samples")
+    if n_samples is None:
+        n_samples = int(round(duration * sample_rate))
+    n_samples = check_positive_int("n_samples", n_samples)
+    if frequency >= sample_rate / 2:
+        raise ValueError(
+            f"frequency {frequency} Hz is not below Nyquist ({sample_rate / 2} Hz)"
+        )
+    if coherent:
+        cycles = max(1, round(frequency * n_samples / sample_rate))
+        frequency = cycles * sample_rate / n_samples
+    t = np.arange(n_samples) / sample_rate
+    data = dc_offset + amplitude * np.sin(2.0 * np.pi * frequency * t + phase)
+    return Signal(
+        data=data,
+        sample_rate=sample_rate,
+        domain="analog",
+        annotations={"source": "sine", "frequency": frequency, "amplitude": amplitude},
+    )
+
+
+def multitone(
+    frequencies: list[float],
+    amplitudes: list[float],
+    sample_rate: float,
+    n_samples: int,
+    seed_phases: bool = True,
+) -> Signal:
+    """A multi-tone test signal (intermodulation / linearity testing).
+
+    Each tone is snapped to a coherent bin.  ``seed_phases`` applies
+    deterministic pseudo-random phases to keep the crest factor reasonable.
+    """
+    if len(frequencies) != len(amplitudes):
+        raise ValueError("frequencies and amplitudes must have equal length")
+    if not frequencies:
+        raise ValueError("at least one tone is required")
+    check_positive("sample_rate", sample_rate)
+    n_samples = check_positive_int("n_samples", n_samples)
+    t = np.arange(n_samples) / sample_rate
+    data = np.zeros(n_samples)
+    snapped = []
+    for idx, (freq, amp) in enumerate(zip(frequencies, amplitudes)):
+        check_positive(f"frequencies[{idx}]", freq)
+        check_non_negative(f"amplitudes[{idx}]", amp)
+        cycles = max(1, round(freq * n_samples / sample_rate))
+        freq_coherent = cycles * sample_rate / n_samples
+        snapped.append(freq_coherent)
+        phase = 2.399963 * idx if seed_phases else 0.0  # golden-angle spread
+        data += amp * np.sin(2.0 * np.pi * freq_coherent * t + phase)
+    return Signal(
+        data=data,
+        sample_rate=sample_rate,
+        domain="analog",
+        annotations={"source": "multitone", "frequencies": snapped},
+    )
+
+
+def from_array(data: np.ndarray, sample_rate: float, **annotations) -> Signal:
+    """Wrap a raw sample array (e.g. a dataset record) as a Signal."""
+    return Signal(
+        data=np.asarray(data, dtype=np.float64),
+        sample_rate=sample_rate,
+        domain="analog",
+        annotations={"source": "array", **annotations},
+    )

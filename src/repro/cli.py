@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the paper's workflow a shell entry point:
+
+* ``tables`` -- print Tables I-III (capability matrix, evaluated power
+  models, technology/design parameters);
+* ``fig4`` -- run the LNA-noise demonstration sweep and print the series;
+* ``sweep`` -- run the Fig. 7 search-space exploration at a chosen scale,
+  print fronts/optima, and optionally save the raw sweep as JSON/CSV;
+* ``report`` -- re-analyse a saved sweep (Figs. 7-10) without
+  re-simulating;
+* ``budget`` -- print the closed-form noise budget of a design point.
+
+Every command prints plain text (ASCII charts included), suitable for
+logs and CI artefacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.util.constants import MICRO
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import render_table1, render_table2, render_table3
+
+    print("== Table I: framework comparison ==\n")
+    print(render_table1())
+    print("\n== Table II: power models (evaluated) ==\n")
+    print(render_table2())
+    print("\n== Table III: technology & design parameters ==\n")
+    print(render_table3())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import render_fig4, run_fig4
+    from repro.util.textplot import scatter
+
+    rows = run_fig4()
+    print(render_fig4(rows))
+    print()
+    print(
+        scatter(
+            {
+                "SNDR [dB]": ([r.noise_uv for r in rows], [r.sndr_db for r in rows]),
+            },
+            x_label="LNA noise [uVrms]",
+            y_label="SNDR [dB]",
+            title="Fig. 4: SNDR vs noise floor",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.serialization import save_result
+    from repro.experiments import analyze_fig7, render_front, run_search_space
+    from repro.util.textplot import pareto_chart
+
+    sweep = run_search_space(args.scale)
+    print(f"evaluated {len(sweep)} design points at scale {args.scale!r}\n")
+    fig7 = analyze_fig7(sweep, min_accuracy=args.min_accuracy)
+    print("baseline accuracy front:")
+    print(render_front(fig7.accuracy_front_baseline, "accuracy"))
+    print("\ncs accuracy front:")
+    print(render_front(fig7.accuracy_front_cs, "accuracy"))
+    print("\n" + fig7.summary())
+    print()
+    print(
+        pareto_chart(
+            {
+                "baseline": fig7.accuracy_front_baseline,
+                "cs": fig7.accuracy_front_cs,
+            },
+            title="Fig. 7b: accuracy vs power Pareto fronts",
+        )
+    )
+    if args.save:
+        save_result(sweep, args.save)
+        print(f"\nsaved sweep to {args.save}")
+    if args.csv:
+        sweep.to_csv(args.csv)
+        print(f"saved CSV to {args.csv}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_result
+    from repro.experiments import analyze_fig7, analyze_fig8, analyze_fig9, analyze_fig10
+
+    sweep = load_result(args.sweep_file)
+    print(f"loaded {len(sweep)} evaluations from {args.sweep_file}\n")
+    fig7 = analyze_fig7(sweep, min_accuracy=args.min_accuracy)
+    print("== Fig. 7: optimal points ==")
+    print(fig7.summary())
+    try:
+        fig8 = analyze_fig8(sweep, min_accuracy=args.min_accuracy)
+        print("\n== Fig. 8: power breakdown of the optima ==")
+        print(fig8.savings_table())
+    except ValueError as error:
+        print(f"\nFig. 8 skipped: {error}")
+    fig9 = analyze_fig9(sweep)
+    print("\n== Fig. 9: area ==")
+    print(f"median area ratio (cs / baseline): {fig9.area_ratio():.2f}x")
+    print("\n== Fig. 10: area-constrained fronts ==")
+    print(analyze_fig10(sweep).render())
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    from repro.power.noise_budget import noise_budget
+    from repro.power.technology import DesignPoint
+
+    point = DesignPoint(
+        n_bits=args.bits,
+        lna_noise_rms=args.noise_uv * MICRO,
+        use_cs=args.cs,
+        cs_m=args.m,
+    )
+    budget = noise_budget(point)
+    print(f"design point: {point.describe()}\n")
+    print(budget.as_table())
+    signal_rms = args.signal_uv * MICRO
+    print(f"\npredicted SNR for a {args.signal_uv:g} uVrms signal: "
+          f"{budget.snr_db(signal_rms):.2f} dB")
+    from repro.power.models import chain_power
+
+    print(f"estimated power: {chain_power(point).total_uw:.3f} uW")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EffiCSense reproduction: pathfinding experiments from the shell.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I-III").set_defaults(func=_cmd_tables)
+    sub.add_parser("fig4", help="run the Fig. 4 noise sweep").set_defaults(func=_cmd_fig4)
+
+    sweep = sub.add_parser("sweep", help="run the Fig. 7 search-space sweep")
+    sweep.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
+    sweep.add_argument("--min-accuracy", type=float, default=0.9)
+    sweep.add_argument("--save", help="write the raw sweep as JSON")
+    sweep.add_argument("--csv", help="write the sweep metrics as CSV")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser("report", help="re-analyse a saved sweep")
+    report.add_argument("sweep_file")
+    report.add_argument("--min-accuracy", type=float, default=0.98)
+    report.set_defaults(func=_cmd_report)
+
+    budget = sub.add_parser("budget", help="closed-form noise budget of a design point")
+    budget.add_argument("--bits", type=int, default=8)
+    budget.add_argument("--noise-uv", type=float, default=2.0)
+    budget.add_argument("--signal-uv", type=float, default=700.0)
+    budget.add_argument("--cs", action="store_true")
+    budget.add_argument("--m", type=int, default=150)
+    budget.set_defaults(func=_cmd_budget)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Simulation engine and pathfinding core.
+
+* :class:`Signal`, :class:`Block`, :class:`SystemModel`, :class:`Simulator`
+  -- the Simulink-equivalent block/dataflow engine.
+* :class:`ParameterSpace`, goal functions, Pareto extraction and the
+  :class:`DesignSpaceExplorer` -- the pathfinding layer (Steps 1-5 of the
+  paper's flow).
+"""
+
+from repro.core.block import Block, FunctionBlock, PassthroughBlock, SimulationContext
+from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
+from repro.core.goal import (
+    Goal,
+    WeightedGoal,
+    accuracy_power_goal,
+    area_constrained_goal,
+    snr_power_goal,
+)
+from repro.core.parameters import SWEEPABLE_FIELDS, CompositeSpace, ParameterSpace
+from repro.core.pareto import Objective, best_feasible, dominates, pareto_front
+from repro.core.results import Evaluation, ExplorationResult
+from repro.core.serialization import (
+    design_point_from_dict,
+    design_point_to_dict,
+    load_result,
+    save_result,
+)
+from repro.core.signal import DOMAINS, Signal
+from repro.core.simulator import SimulationResult, Simulator
+from repro.core.system import SystemGraph, SystemModel
+
+__all__ = [
+    "Block",
+    "CompositeSpace",
+    "DOMAINS",
+    "DesignSpaceExplorer",
+    "Evaluation",
+    "ExplorationResult",
+    "FrontEndEvaluator",
+    "FunctionBlock",
+    "Goal",
+    "Objective",
+    "ParameterSpace",
+    "PassthroughBlock",
+    "SWEEPABLE_FIELDS",
+    "SimulationContext",
+    "SimulationResult",
+    "Simulator",
+    "SystemGraph",
+    "SystemModel",
+    "Signal",
+    "WeightedGoal",
+    "accuracy_power_goal",
+    "area_constrained_goal",
+    "best_feasible",
+    "design_point_from_dict",
+    "design_point_to_dict",
+    "load_result",
+    "save_result",
+    "dominates",
+    "pareto_front",
+    "snr_power_goal",
+]

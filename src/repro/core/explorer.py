@@ -1,0 +1,204 @@
+"""Design-space exploration: evaluate design points over a real dataset.
+
+Two layers:
+
+* :class:`FrontEndEvaluator` -- evaluates ONE design point: builds the
+  matching front-end chain, streams the whole (truncated, stacked) dataset
+  through it, and returns quality (SNR vs clean reference, detection
+  accuracy via a pre-trained :class:`~repro.detection.SeizureDetector`)
+  together with the Table II power estimate and the Fig. 9 area metric.
+  Records are concatenated into one stream so the CS reconstruction runs
+  as a single batched FISTA solve across all frames -- the trick that
+  makes Python-scale sweeps feasible.
+
+* :class:`DesignSpaceExplorer` -- maps an evaluator over a
+  :class:`~repro.core.parameters.ParameterSpace` (or any iterable of
+  design points) into an :class:`~repro.core.results.ExplorationResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.core.parameters import CompositeSpace, ParameterSpace
+from repro.core.results import Evaluation, ExplorationResult
+from repro.core.signal import Signal
+from repro.core.simulator import Simulator
+from repro.cs.dictionaries import dct_basis
+from repro.cs.reconstruction import Reconstructor
+from repro.detection.classifier import SeizureDetector
+from repro.metrics.snr import snr_vs_reference
+from repro.power.area import chain_area
+from repro.power.technology import DesignPoint
+from repro.util.constants import MICRO
+from repro.util.rng import derive_seed
+from repro.util.validation import check_positive
+
+
+class FrontEndEvaluator:
+    """Evaluates design points against a fixed labelled signal corpus.
+
+    Parameters
+    ----------
+    records:
+        Clean sensor-referred records, shape (n_records, n_samples), in
+        volts, at ``sample_rate``.  ``n_samples`` should be a multiple of
+        the CS frame length in the space being explored, so both
+        architectures process identical record lengths.
+    labels:
+        0/1 seizure labels, or ``None`` when only SNR goals are evaluated.
+    sample_rate:
+        Record rate, Hz.  Must equal the design points' ``f_sample`` for
+        the functional simulation and the power models to describe the
+        same system (a tolerance check enforces this).
+    detector:
+        Trained detector at ``sample_rate``; ``None`` skips accuracy.
+    seed:
+        Master seed: mismatch realisations and noise streams derive from
+        it per design point, so the sweep is reproducible point-by-point.
+    reconstructor_factory:
+        Optional ``f(point) -> Reconstructor`` override; default is
+        batched FISTA on a DCT basis (lam_rel 0.002, 300 iterations) --
+        the configuration all paper experiments use.
+    """
+
+    def __init__(
+        self,
+        records: np.ndarray,
+        labels: np.ndarray | None,
+        sample_rate: float,
+        detector: SeizureDetector | None = None,
+        seed: int = 0,
+        reconstructor_factory: Callable[[DesignPoint], Reconstructor] | None = None,
+    ):
+        self.records = np.asarray(records, dtype=np.float64)
+        if self.records.ndim != 2:
+            raise ValueError(f"records must be (n_records, n_samples), got {self.records.shape}")
+        self.labels = None if labels is None else np.asarray(labels, dtype=int)
+        if self.labels is not None and self.labels.size != self.records.shape[0]:
+            raise ValueError(
+                f"{self.labels.size} labels for {self.records.shape[0]} records"
+            )
+        self.sample_rate = check_positive("sample_rate", sample_rate)
+        self.detector = detector
+        if detector is not None and not detector.is_fitted:
+            raise ValueError("detector must be fitted before exploration")
+        self.seed = int(seed)
+        self.reconstructor_factory = reconstructor_factory or self._default_reconstructor
+        self._basis_cache: dict[int, np.ndarray] = {}
+
+    def _default_reconstructor(self, point: DesignPoint) -> Reconstructor:
+        basis = self._basis_cache.get(point.cs_n_phi)
+        if basis is None:
+            basis = dct_basis(point.cs_n_phi)
+            self._basis_cache[point.cs_n_phi] = basis
+        return Reconstructor(basis=basis, method="fista", lam_rel=0.002, n_iter=300)
+
+    # --- single-point evaluation ---------------------------------------------
+
+    def evaluate(self, point: DesignPoint) -> Evaluation:
+        """Simulate one design point over the corpus and score it."""
+        # Imported here: repro.blocks imports repro.core (Block base class),
+        # so a module-level import would be circular.
+        from repro.blocks.chains import (
+            build_baseline_chain,
+            build_cs_chain,
+            build_digital_cs_chain,
+        )
+
+        if abs(point.f_sample - self.sample_rate) / point.f_sample > 0.02:
+            raise ValueError(
+                f"records are at {self.sample_rate} Hz but the design point samples "
+                f"at {point.f_sample} Hz; resample the corpus to f_sample"
+            )
+        n_records, n_samples = self.records.shape
+        point_seed = derive_seed(self.seed, point.describe())
+        if point.use_cs:
+            if n_samples % point.cs_n_phi:
+                raise ValueError(
+                    f"record length {n_samples} is not a multiple of N_phi="
+                    f"{point.cs_n_phi}"
+                )
+            builder = (
+                build_digital_cs_chain
+                if point.cs_architecture == "digital"
+                else build_cs_chain
+            )
+            chain = builder(
+                point,
+                reconstructor=self.reconstructor_factory(point),
+                seed=point_seed,
+            )
+        else:
+            chain = build_baseline_chain(point, seed=point_seed)
+
+        stream = Signal(self.records.reshape(-1), sample_rate=self.sample_rate)
+        result = Simulator(chain, point, seed=derive_seed(point_seed, "run")).run(
+            stream, record_taps=False
+        )
+        output = np.asarray(result.output.data).reshape(n_records, -1)
+        reference = self.records[:, : output.shape[1]]
+
+        snrs = [snr_vs_reference(ref, out) for ref, out in zip(reference, output)]
+        metrics: dict[str, float] = {
+            "snr_db": float(np.mean(snrs)),
+            "power_w": result.power.total,
+            "power_uw": result.power.total / MICRO,
+            "area_units": chain_area(point).units,
+        }
+        if self.detector is not None and self.labels is not None:
+            metrics["accuracy_hard"] = self.detector.accuracy(output, self.labels)
+            soft = getattr(self.detector, "soft_accuracy", None)
+            if soft is not None:
+                # Mean correct-class probability: a continuous, low-variance
+                # estimator of population accuracy.  Hard accuracy over R
+                # records is quantised at 1/R, which masks the sub-percent
+                # differences the paper resolves with 500 records; the soft
+                # estimate restores that resolution at reduced scale.
+                metrics["accuracy"] = soft(output, self.labels)
+            else:
+                metrics["accuracy"] = metrics["accuracy_hard"]
+        return Evaluation(point=point, metrics=metrics, breakdown=dict(result.power.blocks))
+
+    __call__ = evaluate
+
+
+class DesignSpaceExplorer:
+    """Sweeps an evaluator over a design space.
+
+    ``evaluator`` is any callable mapping a DesignPoint to an
+    :class:`Evaluation` -- usually a :class:`FrontEndEvaluator`, but tests
+    plug in closed-form evaluators to exercise the exploration logic in
+    isolation.
+    """
+
+    def __init__(self, evaluator: Callable[[DesignPoint], Evaluation]):
+        self.evaluator = evaluator
+
+    def explore(
+        self,
+        space: ParameterSpace | CompositeSpace | Iterable[DesignPoint],
+        base: DesignPoint | None = None,
+        name: str = "sweep",
+        progress: Callable[[int, Evaluation], None] | None = None,
+    ) -> ExplorationResult:
+        """Evaluate every point of ``space``.
+
+        ``progress(index, evaluation)`` is invoked after each point (used
+        by the example scripts for live logging).
+        """
+        if isinstance(space, (ParameterSpace, CompositeSpace)):
+            points: Iterable[DesignPoint] = space.grid(base)
+        else:
+            points = space
+        evaluations = []
+        for index, point in enumerate(points):
+            evaluation = self.evaluator(point)
+            evaluations.append(evaluation)
+            if progress is not None:
+                progress(index, evaluation)
+        if not evaluations:
+            raise ValueError("design space produced no points to evaluate")
+        return ExplorationResult(evaluations, name=name)

@@ -1,0 +1,154 @@
+"""Design-space parameterisation (the sweep engine of Step 5).
+
+A :class:`ParameterSpace` maps parameter names to candidate values and
+enumerates the Cartesian grid (or a random subsample) as
+:class:`~repro.power.technology.DesignPoint` instances.  Parameter names
+are DesignPoint field names, so a space is fully declarative::
+
+    space = ParameterSpace({
+        "lna_noise_rms": np.linspace(1e-6, 20e-6, 10),
+        "n_bits": [6, 7, 8],
+        "cs_m": [75, 150, 192],
+        "use_cs": [True],
+    })
+    for point in space.grid(base=DesignPoint()):
+        ...
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.power.technology import DesignPoint
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive_int
+
+#: Fields of DesignPoint a space may sweep.
+SWEEPABLE_FIELDS = frozenset(
+    {
+        "bw_in",
+        "n_bits",
+        "v_dd",
+        "v_fs",
+        "v_ref",
+        "lna_noise_rms",
+        "lna_gain",
+        "use_cs",
+        "cs_architecture",
+        "cs_m",
+        "cs_n_phi",
+        "cs_sparsity",
+        "cs_cap_ratio",
+        "cs_weight_mismatch_sigma",
+        "sampling_ratio",
+        "lna_bw_ratio",
+    }
+)
+
+
+class ParameterSpace:
+    """A named grid of design-parameter values."""
+
+    def __init__(self, axes: Mapping[str, Sequence]):
+        if not axes:
+            raise ValueError("parameter space needs at least one axis")
+        self._axes: dict[str, list] = {}
+        for name, values in axes.items():
+            if name not in SWEEPABLE_FIELDS:
+                raise ValueError(
+                    f"{name!r} is not a sweepable DesignPoint field; "
+                    f"allowed: {sorted(SWEEPABLE_FIELDS)}"
+                )
+            values = list(np.asarray(values).tolist()) if not isinstance(values, list) else list(values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            self._axes[name] = values
+
+    @property
+    def axes(self) -> dict[str, list]:
+        """Name -> candidate values (copy)."""
+        return {name: list(values) for name, values in self._axes.items()}
+
+    @property
+    def size(self) -> int:
+        """Number of grid points."""
+        total = 1
+        for values in self._axes.values():
+            total *= len(values)
+        return total
+
+    def assignments(self) -> Iterator[dict]:
+        """Iterate raw {name: value} grid assignments in axis order."""
+        names = list(self._axes)
+        for combo in itertools.product(*(self._axes[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def grid(self, base: DesignPoint | None = None) -> Iterator[DesignPoint]:
+        """Iterate the full grid as DesignPoints derived from ``base``.
+
+        Assignments that violate DesignPoint invariants (e.g. a CS
+        sparsity larger than M on a non-CS axis combination) are skipped
+        rather than raised, so mixed baseline/CS spaces compose naturally.
+        """
+        base = base or DesignPoint()
+        for assignment in self.assignments():
+            try:
+                yield base.with_(**assignment)
+            except ValueError:
+                continue
+
+    def random(
+        self, n_points: int, base: DesignPoint | None = None, seed: int | None = None
+    ) -> list[DesignPoint]:
+        """``n_points`` uniform random grid picks (without replacement when
+        the grid is small enough)."""
+        n_points = check_positive_int("n_points", n_points)
+        rng = make_rng(seed)
+        all_points = list(self.grid(base))
+        if not all_points:
+            raise ValueError("parameter space produced no valid design points")
+        if n_points >= len(all_points):
+            return all_points
+        indices = rng.choice(len(all_points), size=n_points, replace=False)
+        return [all_points[i] for i in sorted(indices)]
+
+    def __or__(self, other: "ParameterSpace") -> "CompositeSpace":
+        """Union of two spaces (e.g. a baseline grid plus a CS grid)."""
+        return CompositeSpace([self, other])
+
+    def __repr__(self) -> str:
+        dims = ", ".join(f"{name}[{len(values)}]" for name, values in self._axes.items())
+        return f"ParameterSpace({dims}; {self.size} points)"
+
+
+class CompositeSpace:
+    """Concatenation of several parameter spaces (grids are chained).
+
+    The paper's Fig. 7 search space is exactly this: a baseline grid
+    (noise x resolution) unioned with a CS grid (noise x resolution x M).
+    """
+
+    def __init__(self, spaces: Sequence[ParameterSpace]):
+        if not spaces:
+            raise ValueError("composite space needs at least one member")
+        self.spaces = list(spaces)
+
+    @property
+    def size(self) -> int:
+        """Total grid points across members."""
+        return sum(space.size for space in self.spaces)
+
+    def grid(self, base: DesignPoint | None = None) -> Iterator[DesignPoint]:
+        """Chain the member grids."""
+        for space in self.spaces:
+            yield from space.grid(base)
+
+    def __or__(self, other: "ParameterSpace | CompositeSpace") -> "CompositeSpace":
+        others = other.spaces if isinstance(other, CompositeSpace) else [other]
+        return CompositeSpace([*self.spaces, *others])
+
+    def __repr__(self) -> str:
+        return f"CompositeSpace({len(self.spaces)} members, {self.size} points)"

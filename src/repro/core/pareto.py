@@ -1,0 +1,107 @@
+"""Pareto-front extraction over evaluated design points.
+
+The paper's Figs. 7 and 10 report Pareto fronts trading power (minimise)
+against quality (maximise SNR or accuracy).  These helpers are metric-
+agnostic: callers declare, per objective, whether it is minimised or
+maximised, and optionally add feasibility constraints (the area caps of
+Fig. 10, the >= 98 % accuracy requirement of the optimal-point selection).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation axis: a metric name plus its direction."""
+
+    metric: str
+    maximize: bool = False
+
+    def better_or_equal(self, a: float, b: float) -> bool:
+        """True if value ``a`` is at least as good as ``b``."""
+        return a >= b if self.maximize else a <= b
+
+    def strictly_better(self, a: float, b: float) -> bool:
+        """True if value ``a`` is strictly better than ``b``."""
+        return a > b if self.maximize else a < b
+
+
+def dominates(a: dict, b: dict, objectives: Sequence[Objective]) -> bool:
+    """True if metrics ``a`` Pareto-dominate metrics ``b``.
+
+    ``a`` dominates when it is at least as good on every objective and
+    strictly better on at least one.
+    """
+    if not objectives:
+        raise ValueError("need at least one objective")
+    at_least_as_good = all(
+        obj.better_or_equal(a[obj.metric], b[obj.metric]) for obj in objectives
+    )
+    strictly = any(obj.strictly_better(a[obj.metric], b[obj.metric]) for obj in objectives)
+    return at_least_as_good and strictly
+
+
+def pareto_front(
+    evaluations: Sequence,
+    objectives: Sequence[Objective],
+    metrics_of: Callable[[object], dict] = lambda e: e.metrics,
+    constraint: Callable[[dict], bool] | None = None,
+) -> list:
+    """Non-dominated subset of ``evaluations``.
+
+    Parameters
+    ----------
+    evaluations:
+        Any sequence; ``metrics_of`` extracts the metric dict from each
+        item (defaults to an ``.metrics`` attribute).
+    objectives:
+        The axes of the trade-off.
+    constraint:
+        Optional feasibility predicate on the metric dict; infeasible
+        items are excluded before domination filtering (Fig. 10's area
+        caps).
+
+    Returns the non-dominated items, sorted by the first objective
+    (ascending for minimised, descending for maximised).
+    """
+    feasible = [
+        item
+        for item in evaluations
+        if constraint is None or constraint(metrics_of(item))
+    ]
+    front = []
+    for candidate in feasible:
+        cand_metrics = metrics_of(candidate)
+        if not any(
+            dominates(metrics_of(other), cand_metrics, objectives)
+            for other in feasible
+            if other is not candidate
+        ):
+            front.append(candidate)
+    primary = objectives[0]
+    front.sort(key=lambda item: metrics_of(item)[primary.metric], reverse=primary.maximize)
+    return front
+
+
+def best_feasible(
+    evaluations: Sequence,
+    minimize_metric: str,
+    metrics_of: Callable[[object], dict] = lambda e: e.metrics,
+    constraint: Callable[[dict], bool] | None = None,
+):
+    """The feasible item minimising ``minimize_metric`` (paper's "optimal point").
+
+    E.g. the minimum-power design meeting accuracy >= 98 %.  Returns
+    ``None`` when nothing is feasible.
+    """
+    feasible = [
+        item
+        for item in evaluations
+        if constraint is None or constraint(metrics_of(item))
+    ]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda item: metrics_of(item)[minimize_metric])

@@ -1,0 +1,139 @@
+"""Result containers of design-space exploration.
+
+:class:`Evaluation` pairs one design point with its measured metric dict;
+:class:`ExplorationResult` is the evaluated sweep with Pareto/selection/
+reporting conveniences used by every experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.pareto import Objective, best_feasible, pareto_front
+from repro.power.technology import DesignPoint
+
+
+@dataclass
+class Evaluation:
+    """One evaluated design point.
+
+    ``metrics`` holds scalar results (``snr_db``, ``accuracy``,
+    ``power_uw``, ``area_units``, ...); ``breakdown`` optionally carries
+    the per-block power dict for Fig. 4/8-style plots.
+    """
+
+    point: DesignPoint
+    metrics: dict[str, float]
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """Metric value by name (KeyError lists what exists)."""
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"no metric {name!r}; available: {sorted(self.metrics)}"
+            ) from None
+
+    def summary(self) -> str:
+        """One-line report used in sweep logs."""
+        parts = [self.point.describe()]
+        for name in sorted(self.metrics):
+            parts.append(f"{name}={self.metrics[name]:.4g}")
+        return "  ".join(parts)
+
+
+class ExplorationResult:
+    """The outcome of sweeping a design space."""
+
+    def __init__(self, evaluations: Sequence[Evaluation], name: str = "sweep"):
+        self.name = name
+        self._evaluations = list(evaluations)
+
+    def __len__(self) -> int:
+        return len(self._evaluations)
+
+    def __iter__(self):
+        return iter(self._evaluations)
+
+    def __getitem__(self, index: int) -> Evaluation:
+        return self._evaluations[index]
+
+    @property
+    def evaluations(self) -> list[Evaluation]:
+        """All evaluations (list copy)."""
+        return list(self._evaluations)
+
+    def filter(self, predicate: Callable[[Evaluation], bool]) -> "ExplorationResult":
+        """Sub-result with evaluations satisfying ``predicate``."""
+        return ExplorationResult(
+            [e for e in self._evaluations if predicate(e)], name=self.name
+        )
+
+    def split_by_architecture(self) -> tuple["ExplorationResult", "ExplorationResult"]:
+        """(baseline, cs) partition -- the two curves of Figs. 7/9/10."""
+        baseline = self.filter(lambda e: not e.point.use_cs)
+        cs = self.filter(lambda e: e.point.use_cs)
+        baseline.name = f"{self.name}-baseline"
+        cs.name = f"{self.name}-cs"
+        return baseline, cs
+
+    def values(self, metric: str) -> list[float]:
+        """All values of one metric, in evaluation order."""
+        return [e.metric(metric) for e in self._evaluations]
+
+    def pareto(
+        self,
+        objectives: Sequence[Objective],
+        constraint: Callable[[dict], bool] | None = None,
+    ) -> list[Evaluation]:
+        """Non-dominated evaluations under ``objectives`` (see core.pareto)."""
+        return pareto_front(self._evaluations, objectives, constraint=constraint)
+
+    def best(
+        self,
+        minimize: str = "power_uw",
+        constraint: Callable[[dict], bool] | None = None,
+    ) -> Evaluation | None:
+        """Feasible evaluation minimising ``minimize`` (the paper's optimum)."""
+        return best_feasible(self._evaluations, minimize, constraint=constraint)
+
+    def as_table(self, metrics: Sequence[str], max_rows: int | None = None) -> str:
+        """Fixed-width text table of selected metrics."""
+        rows = self._evaluations if max_rows is None else self._evaluations[:max_rows]
+        header = f"{'design point':<42}" + "".join(f"{m:>14}" for m in metrics)
+        lines = [header]
+        for evaluation in rows:
+            cells = "".join(f"{evaluation.metric(m):>14.4g}" for m in metrics)
+            lines.append(f"{evaluation.point.describe():<42}{cells}")
+        return "\n".join(lines)
+
+    def to_dicts(self) -> list[dict]:
+        """Plain-dict export (point description + metrics) for serialisation."""
+        return [
+            {"point": e.point.describe(), **e.metrics} for e in self._evaluations
+        ]
+
+    def to_csv(self, path: str, metrics: Sequence[str] | None = None) -> None:
+        """Write the sweep as CSV (point description + selected metrics).
+
+        ``metrics=None`` exports the union of all metric names, sorted.
+        """
+        import csv
+
+        if metrics is None:
+            names: set[str] = set()
+            for evaluation in self._evaluations:
+                names.update(evaluation.metrics)
+            metrics = sorted(names)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["point", *metrics])
+            for evaluation in self._evaluations:
+                writer.writerow(
+                    [
+                        evaluation.point.describe(),
+                        *(evaluation.metrics.get(name, "") for name in metrics),
+                    ]
+                )

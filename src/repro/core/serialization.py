@@ -1,0 +1,74 @@
+"""Persistence of design points and exploration results (JSON).
+
+Full-scale sweeps take hours; their results should survive the process.
+Design points round-trip exactly (every dataclass field, including the
+technology constants), so a saved sweep can be re-analysed — Pareto
+fronts, constrained searches, figure extraction — without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core.results import Evaluation, ExplorationResult
+from repro.power.technology import DesignPoint, Technology
+
+#: Format marker written into every file (future-proofing).
+FORMAT_VERSION = 1
+
+
+def design_point_to_dict(point: DesignPoint) -> dict:
+    """DesignPoint -> plain dict (technology inlined)."""
+    payload = dataclasses.asdict(point)
+    payload["technology"] = dataclasses.asdict(point.technology)
+    return payload
+
+
+def design_point_from_dict(payload: dict) -> DesignPoint:
+    """Inverse of :func:`design_point_to_dict` (exact round-trip)."""
+    data = dict(payload)
+    tech_payload = data.pop("technology")
+    technology = Technology(**tech_payload)
+    return DesignPoint(technology=technology, **data)
+
+
+def evaluation_to_dict(evaluation: Evaluation) -> dict:
+    """Evaluation -> plain dict."""
+    return {
+        "point": design_point_to_dict(evaluation.point),
+        "metrics": dict(evaluation.metrics),
+        "breakdown": dict(evaluation.breakdown),
+    }
+
+
+def evaluation_from_dict(payload: dict) -> Evaluation:
+    """Inverse of :func:`evaluation_to_dict`."""
+    return Evaluation(
+        point=design_point_from_dict(payload["point"]),
+        metrics=dict(payload["metrics"]),
+        breakdown=dict(payload.get("breakdown", {})),
+    )
+
+
+def save_result(result: ExplorationResult, path: str | Path) -> None:
+    """Write an exploration result as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": result.name,
+        "evaluations": [evaluation_to_dict(e) for e in result],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_result(path: str | Path) -> ExplorationResult:
+    """Read an exploration result written by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported sweep file version {version!r} (expected {FORMAT_VERSION})"
+        )
+    evaluations = [evaluation_from_dict(item) for item in payload["evaluations"]]
+    return ExplorationResult(evaluations, name=payload.get("name", "sweep"))

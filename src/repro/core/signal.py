@@ -1,0 +1,98 @@
+"""Signal container flowing between blocks of the simulation engine.
+
+A :class:`Signal` is an immutable-by-convention wrapper around a numpy
+array plus the sampling metadata blocks need to interpret it: sample rate,
+domain (continuous-valued analog samples, digitised codes-as-volts, or
+compressed CS measurements) and a free-form annotations dict that blocks
+use to pass side information down the chain (e.g. the effective sensing
+matrix from the encoder to the reconstructor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+#: Allowed signal domains.
+DOMAINS = ("analog", "digital", "compressed")
+
+
+@dataclass
+class Signal:
+    """One named sample stream.
+
+    Attributes
+    ----------
+    data:
+        Sample array.  1-D for plain streams; the CS encoder emits 2-D
+        (n_frames, M) measurement blocks.
+    sample_rate:
+        Samples per second of the stream (for 2-D data: frames per second
+        times M is the scalar measurement rate; ``sample_rate`` stores the
+        scalar rate so power/bit-rate bookkeeping stays uniform).
+    domain:
+        One of :data:`DOMAINS`.
+    annotations:
+        Side-channel metadata accumulated along the chain.
+    """
+
+    data: np.ndarray
+    sample_rate: float
+    domain: str = "analog"
+    annotations: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        check_positive("sample_rate", self.sample_rate)
+        if self.domain not in DOMAINS:
+            raise ValueError(f"domain must be one of {DOMAINS}, got {self.domain!r}")
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of scalar samples."""
+        return int(self.data.size)
+
+    @property
+    def duration(self) -> float:
+        """Stream duration in seconds."""
+        return self.n_samples / self.sample_rate
+
+    def replaced(
+        self,
+        data: np.ndarray | None = None,
+        sample_rate: float | None = None,
+        domain: str | None = None,
+        **annotations: Any,
+    ) -> "Signal":
+        """Return a copy with selected fields replaced and annotations merged.
+
+        The annotations of the source signal are carried over; keyword
+        arguments add or overwrite entries.  This is the one constructor
+        blocks should use so that metadata survives the chain.
+        """
+        merged = dict(self.annotations)
+        merged.update(annotations)
+        return Signal(
+            data=self.data if data is None else data,
+            sample_rate=self.sample_rate if sample_rate is None else sample_rate,
+            domain=self.domain if domain is None else domain,
+            annotations=merged,
+        )
+
+    def rms(self) -> float:
+        """Root-mean-square value of the stream."""
+        return float(np.sqrt(np.mean(np.square(self.data))))
+
+    def peak(self) -> float:
+        """Maximum absolute sample value."""
+        return float(np.max(np.abs(self.data))) if self.data.size else 0.0
+
+    def time_axis(self) -> np.ndarray:
+        """Time stamps of a 1-D stream, in seconds."""
+        if self.data.ndim != 1:
+            raise ValueError("time_axis is only defined for 1-D streams")
+        return np.arange(self.data.size) / self.sample_rate

@@ -1,0 +1,195 @@
+"""System composition: chains and DAGs of blocks.
+
+:class:`SystemModel` is the ordered single-path chain that covers both of
+the paper's architectures (Fig. 1 a/b are linear chains).  For more exotic
+topologies (multi-channel front-ends, feedback calibration paths)
+:class:`SystemGraph` composes blocks as a networkx DAG with named multi-
+input blocks; the chain remains the primary, heavily-tested surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+
+from repro.core.block import Block, SimulationContext
+from repro.core.signal import Signal
+
+
+class SystemModel:
+    """An ordered chain of blocks with unique names.
+
+    The chain is the unit the simulator executes and the explorer rebuilds
+    per design point.  Blocks can be appended, inserted, replaced or
+    removed by name, mirroring the "swap one block, re-simulate"
+    pathfinding workflow of the paper.
+    """
+
+    def __init__(self, blocks: Iterable[Block] = (), name: str = "system"):
+        self.name = name
+        self._blocks: list[Block] = []
+        for block in blocks:
+            self.append(block)
+
+    # --- composition --------------------------------------------------------
+
+    def append(self, block: Block) -> "SystemModel":
+        """Add ``block`` at the end of the chain (fluent)."""
+        self._check_unique(block.name)
+        self._blocks.append(block)
+        return self
+
+    def insert_after(self, existing: str, block: Block) -> "SystemModel":
+        """Insert ``block`` right after the block named ``existing``."""
+        self._check_unique(block.name)
+        idx = self._index_of(existing)
+        self._blocks.insert(idx + 1, block)
+        return self
+
+    def insert_before(self, existing: str, block: Block) -> "SystemModel":
+        """Insert ``block`` right before the block named ``existing``."""
+        self._check_unique(block.name)
+        idx = self._index_of(existing)
+        self._blocks.insert(idx, block)
+        return self
+
+    def replace(self, existing: str, block: Block) -> "SystemModel":
+        """Swap the block named ``existing`` for ``block``."""
+        idx = self._index_of(existing)
+        if block.name != existing:
+            self._check_unique(block.name)
+        self._blocks[idx] = block
+        return self
+
+    def remove(self, name: str) -> "SystemModel":
+        """Remove the block named ``name``."""
+        del self._blocks[self._index_of(name)]
+        return self
+
+    def _check_unique(self, name: str) -> None:
+        if any(existing.name == name for existing in self._blocks):
+            raise ValueError(f"block name {name!r} already present in {self.name!r}")
+
+    def _index_of(self, name: str) -> int:
+        for idx, block in enumerate(self._blocks):
+            if block.name == name:
+                return idx
+        raise KeyError(f"no block named {name!r} in {self.name!r}")
+
+    # --- introspection --------------------------------------------------------
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        """The chain's blocks in execution order (read-only view)."""
+        return tuple(self._blocks)
+
+    def block(self, name: str) -> Block:
+        """Look a block up by name."""
+        return self._blocks[self._index_of(name)]
+
+    def block_names(self) -> list[str]:
+        """Names in execution order."""
+        return [block.name for block in self._blocks]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, name: str) -> bool:
+        return any(block.name == name for block in self._blocks)
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(self.block_names()) or "<empty>"
+        return f"SystemModel({self.name!r}: {chain})"
+
+    # --- execution -------------------------------------------------------------
+
+    def run(self, signal: Signal, ctx: SimulationContext, record_taps: bool = True) -> Signal:
+        """Execute the chain on ``signal`` under ``ctx``.
+
+        Each block's output is recorded as a tap named after the block when
+        ``record_taps`` is enabled (the Fig. 4-style per-block inspection
+        relies on this).
+        """
+        if not self._blocks:
+            raise ValueError(f"system {self.name!r} has no blocks")
+        current = signal
+        if record_taps:
+            ctx.record("input", current)
+        for block in self._blocks:
+            current = block.process(current, ctx)
+            if record_taps:
+                ctx.record(block.name, current)
+        return current
+
+    def reset(self) -> None:
+        """Reset every block for an identical re-run."""
+        for block in self._blocks:
+            block.reset()
+
+
+class SystemGraph:
+    """DAG composition of blocks for non-linear topologies.
+
+    Nodes are blocks; an edge ``(u, v)`` feeds u's output into v.  Blocks
+    with several predecessors receive the inputs as a list ordered by the
+    ``slot`` edge attribute.  Execution is a topological sweep.
+
+    The linear chain is a special case, but :class:`SystemModel` stays the
+    preferred API for it (simpler, ordered, replaceable-by-name).
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._blocks: dict[str, Block] = {}
+
+    def add(self, block: Block) -> "SystemGraph":
+        """Register a block as a node."""
+        if block.name in self._blocks:
+            raise ValueError(f"block name {block.name!r} already present")
+        self._blocks[block.name] = block
+        self._graph.add_node(block.name)
+        return self
+
+    def connect(self, src: str, dst: str, slot: int = 0) -> "SystemGraph":
+        """Feed ``src``'s output into ``dst`` (input position ``slot``)."""
+        for name in (src, dst):
+            if name not in self._blocks:
+                raise KeyError(f"unknown block {name!r}")
+        self._graph.add_edge(src, dst, slot=slot)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(src, dst)
+            raise ValueError(f"edge {src!r} -> {dst!r} would create a cycle")
+        return self
+
+    def blocks(self) -> dict[str, Block]:
+        """Name -> block mapping."""
+        return dict(self._blocks)
+
+    def run(self, inputs: dict[str, Signal], ctx: SimulationContext) -> dict[str, Signal]:
+        """Execute the DAG.
+
+        ``inputs`` maps source-node names (in-degree 0) to their signals.
+        Returns the outputs of every sink node (out-degree 0).
+        """
+        outputs: dict[str, Signal] = {}
+        for node in nx.topological_sort(self._graph):
+            block = self._blocks[node]
+            preds = list(self._graph.predecessors(node))
+            if not preds:
+                if node not in inputs:
+                    raise ValueError(f"source block {node!r} has no input signal")
+                incoming: Signal | list[Signal] = inputs[node]
+            else:
+                ordered = sorted(preds, key=lambda p: self._graph.edges[p, node]["slot"])
+                gathered = [outputs[p] for p in ordered]
+                incoming = gathered[0] if len(gathered) == 1 else gathered
+            result = block.process(incoming, ctx)  # type: ignore[arg-type]
+            outputs[node] = result
+            ctx.record(node, result)
+        return {
+            node: outputs[node]
+            for node in self._graph.nodes
+            if self._graph.out_degree(node) == 0
+        }

@@ -1,0 +1,135 @@
+"""Sparsifying dictionaries (bases) for CS reconstruction.
+
+CS reconstruction solves ``y = Phi Psi alpha`` for a sparse ``alpha``; the
+choice of ``Psi`` encodes the prior that the signal class is compressible.
+EEG is well represented in the DCT and in orthogonal wavelet bases, the two
+families implemented here:
+
+* :func:`dct_basis` -- orthonormal DCT-II synthesis matrix (the default for
+  all experiments; EEG rhythms are narrowband, hence DCT-sparse).
+* :func:`wavelet_basis` -- multi-level orthogonal wavelet synthesis matrix
+  built from the filter cascade (Haar and Daubechies-4 filters included),
+  implemented from scratch with periodic boundary handling.
+
+All functions return an N x N orthonormal matrix ``Psi`` whose *columns*
+are the basis vectors: ``x = Psi @ alpha``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+#: Analysis low-pass filters of the supported orthogonal wavelets.
+WAVELET_FILTERS: dict[str, np.ndarray] = {
+    "haar": np.array([1.0, 1.0]) / math.sqrt(2.0),
+    "db2": np.array(
+        [0.48296291314469025, 0.836516303737469, 0.22414386804185735, -0.12940952255092145]
+    ),
+    "db4": np.array(
+        [
+            0.23037781330885523,
+            0.7148465705525415,
+            0.6308807679295904,
+            -0.02798376941698385,
+            -0.18703481171888114,
+            0.030841381835986965,
+            0.032883011666982945,
+            -0.010597401784997278,
+        ]
+    ),
+}
+
+
+def dct_basis(n: int) -> np.ndarray:
+    """Orthonormal DCT-II synthesis matrix of size N x N.
+
+    Column ``k`` is the k-th DCT basis vector
+    ``c_k * cos(pi (2t+1) k / 2N)`` with the orthonormal scaling, so that
+    ``Psi.T @ Psi = I`` and ``alpha = Psi.T @ x`` are the DCT coefficients.
+    """
+    n = check_positive_int("n", n)
+    t = np.arange(n)
+    k = np.arange(n)
+    psi = np.cos(np.pi * (2.0 * t[:, None] + 1.0) * k[None, :] / (2.0 * n))
+    psi *= np.sqrt(2.0 / n)
+    psi[:, 0] /= math.sqrt(2.0)
+    return psi
+
+
+def identity_basis(n: int) -> np.ndarray:
+    """The canonical basis (signals sparse in time, e.g. spike trains)."""
+    n = check_positive_int("n", n)
+    return np.eye(n)
+
+
+def _wavelet_analysis_level(n: int, h: np.ndarray) -> np.ndarray:
+    """One analysis level as an n x n orthogonal matrix (periodic wrap).
+
+    The first n/2 rows compute the approximation (low-pass + downsample),
+    the last n/2 rows the detail coefficients using the quadrature-mirror
+    high-pass ``g[k] = (-1)^k h[L-1-k]``.
+    """
+    if n % 2 != 0:
+        raise ValueError(f"wavelet level requires even length, got {n}")
+    length = len(h)
+    g = np.array([(-1) ** k * h[length - 1 - k] for k in range(length)])
+    half = n // 2
+    w = np.zeros((n, n))
+    for i in range(half):
+        for k in range(length):
+            col = (2 * i + k) % n
+            w[i, col] += h[k]
+            w[half + i, col] += g[k]
+    return w
+
+
+def wavelet_basis(n: int, wavelet: str = "db4", levels: int | None = None) -> np.ndarray:
+    """Multi-level orthogonal wavelet synthesis matrix of size N x N.
+
+    Builds the analysis operator as a cascade of per-level orthogonal
+    matrices acting on the running approximation band, then returns its
+    transpose (synthesis).  ``levels=None`` uses the maximum depth allowed
+    by N and the filter length.
+
+    N must be divisible by ``2**levels``.
+    """
+    n = check_positive_int("n", n)
+    if wavelet not in WAVELET_FILTERS:
+        raise ValueError(f"unknown wavelet {wavelet!r}; available: {sorted(WAVELET_FILTERS)}")
+    h = WAVELET_FILTERS[wavelet]
+    max_levels = 0
+    size = n
+    while size % 2 == 0 and size >= 2 * len(h):
+        max_levels += 1
+        size //= 2
+    if levels is None:
+        levels = max(max_levels, 1)
+    levels = check_positive_int("levels", levels)
+    if levels > max_levels and not (levels == 1 and n % 2 == 0):
+        raise ValueError(
+            f"n={n} with wavelet {wavelet!r} supports at most {max_levels} levels, "
+            f"requested {levels}"
+        )
+    analysis = np.eye(n)
+    band = n
+    for _ in range(levels):
+        level = np.eye(n)
+        level[:band, :band] = _wavelet_analysis_level(band, h)
+        analysis = level @ analysis
+        band //= 2
+    return analysis.T  # orthogonal: synthesis = analysis^T
+
+
+def make_basis(kind: str, n: int, **kwargs) -> np.ndarray:
+    """Factory for the supported bases: ``dct``, ``identity``, wavelet names."""
+    if kind == "dct":
+        return dct_basis(n)
+    if kind == "identity":
+        return identity_basis(n)
+    if kind in WAVELET_FILTERS:
+        return wavelet_basis(n, wavelet=kind, **kwargs)
+    raise ValueError(f"unknown basis kind {kind!r}")

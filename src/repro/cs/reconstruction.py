@@ -1,0 +1,332 @@
+"""Sparse-signal reconstruction solvers.
+
+Recovers ``x`` from compressed measurements ``y = A x + noise`` where
+``A = Phi_eff @ Psi`` is the effective sensing matrix composed with a
+sparsifying basis.  Three solvers are implemented from scratch:
+
+* :func:`omp` -- Orthogonal Matching Pursuit, a greedy support-growing
+  solver; the reference algorithm of most CS ASIC papers.
+* :func:`ista` / :func:`fista` -- proximal-gradient solvers of the LASSO
+  problem ``min 0.5 ||y - A z||^2 + lam ||z||_1``.  FISTA adds Nesterov
+  momentum and is the workhorse: it is fully vectorised across *batches* of
+  frames (one matrix-matrix product per iteration for thousands of frames),
+  which is what makes sweeping 500-record datasets feasible in Python.
+* :func:`least_squares_on_support` -- debiasing step shared by all solvers.
+
+:class:`Reconstructor` packages a basis + solver + parameters into the
+object the simulation chain and the explorer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_positive_int
+
+
+def least_squares_on_support(
+    a: np.ndarray, y: np.ndarray, support: np.ndarray
+) -> np.ndarray:
+    """Solve ``min ||y - A[:, support] z||`` and embed into full length.
+
+    The standard debiasing step: after the support is identified (greedily
+    or by thresholding a LASSO solution), re-fit the nonzero coefficients
+    without the l1 shrinkage bias.
+    """
+    coeffs = np.zeros(a.shape[1])
+    if support.size == 0:
+        return coeffs
+    sub = a[:, support]
+    solution, *_ = np.linalg.lstsq(sub, y, rcond=None)
+    coeffs[support] = solution
+    return coeffs
+
+
+def omp(
+    a: np.ndarray,
+    y: np.ndarray,
+    sparsity: int,
+    tol: float = 0.0,
+) -> np.ndarray:
+    """Orthogonal Matching Pursuit.
+
+    Greedily selects the dictionary atom most correlated with the residual,
+    re-fits on the grown support, and repeats ``sparsity`` times or until
+    the residual norm drops below ``tol * ||y||``.
+
+    Parameters
+    ----------
+    a:
+        Measurement matrix (M x N), columns need not be normalised (they
+        are normalised internally for atom selection).
+    y:
+        Measurement vector (M,).
+    sparsity:
+        Maximum number of atoms to select (K).
+    tol:
+        Optional relative residual early-exit threshold.
+
+    Returns
+    -------
+    Coefficient vector (N,) with at most K nonzeros.
+    """
+    sparsity = check_positive_int("sparsity", sparsity)
+    y = np.asarray(y, dtype=np.float64)
+    m, n = a.shape
+    if y.shape != (m,):
+        raise ValueError(f"y must have shape ({m},), got {y.shape}")
+    norms = np.linalg.norm(a, axis=0)
+    norms = np.where(norms == 0, 1.0, norms)
+    residual = y.copy()
+    support: list[int] = []
+    y_norm = np.linalg.norm(y)
+    if y_norm == 0:
+        return np.zeros(n)
+    for _ in range(min(sparsity, m)):
+        correlations = np.abs(a.T @ residual) / norms
+        if support:
+            correlations[support] = -np.inf
+        atom = int(np.argmax(correlations))
+        support.append(atom)
+        coeffs = least_squares_on_support(a, y, np.array(support))
+        residual = y - a @ coeffs
+        if tol > 0 and np.linalg.norm(residual) <= tol * y_norm:
+            break
+    return least_squares_on_support(a, y, np.array(support))
+
+
+def _soft_threshold(z: np.ndarray, threshold: float) -> np.ndarray:
+    """Elementwise soft-thresholding, the proximal operator of lam*||.||_1."""
+    return np.sign(z) * np.maximum(np.abs(z) - threshold, 0.0)
+
+
+def _lipschitz(a: np.ndarray) -> float:
+    """Largest eigenvalue of A^T A (squared spectral norm), the gradient
+    Lipschitz constant of the LASSO smooth term."""
+    return float(np.linalg.norm(a, ord=2) ** 2)
+
+
+def ista(
+    a: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    n_iter: int = 200,
+    tol: float = 1e-8,
+) -> np.ndarray:
+    """Iterative Shrinkage-Thresholding for the LASSO.
+
+    Plain proximal gradient descent with step ``1/L``; converges at O(1/k).
+    Provided mainly as the reference against which FISTA's acceleration is
+    benchmarked; supports single vectors (M,) or batches (B, M) like
+    :func:`fista`.
+    """
+    check_positive("lam", lam)
+    n_iter = check_positive_int("n_iter", n_iter)
+    y2 = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    lipschitz = _lipschitz(a)
+    if lipschitz == 0:
+        out = np.zeros((y2.shape[0], a.shape[1]))
+        return out[0] if np.ndim(y) == 1 else out
+    step = 1.0 / lipschitz
+    z = np.zeros((y2.shape[0], a.shape[1]))
+    at = a.T
+    for _ in range(n_iter):
+        gradient = (z @ a.T - y2) @ at.T  # (B, N): A^T (A z - y), batched
+        z_next = _soft_threshold(z - step * gradient, lam * step)
+        if np.max(np.abs(z_next - z)) <= tol:
+            z = z_next
+            break
+        z = z_next
+    return z[0] if np.ndim(y) == 1 else z
+
+
+def fista(
+    a: np.ndarray,
+    y: np.ndarray,
+    lam: float,
+    n_iter: int = 100,
+    tol: float = 1e-9,
+    debias: bool = False,
+) -> np.ndarray:
+    """FISTA (Beck & Teboulle) for the LASSO, batched across frames.
+
+    Parameters
+    ----------
+    a:
+        Measurement matrix (M x N).
+    y:
+        One measurement vector (M,) or a batch (B, M).  The batch form
+        performs every iteration as one (B, M) x (M, N) product, which is
+        how full-dataset evaluation stays fast.
+    lam:
+        l1 regularisation weight, in the units of ``y`` squared.
+    n_iter:
+        Maximum iterations (O(1/k^2) convergence).
+    tol:
+        Early exit when the max coefficient update falls below this.
+    debias:
+        Re-fit nonzero coefficients by least squares per frame after
+        convergence (slower; per-frame loop).
+
+    Returns
+    -------
+    Coefficients (N,) or (B, N) matching the input rank.
+    """
+    check_positive("lam", lam)
+    n_iter = check_positive_int("n_iter", n_iter)
+    single = np.ndim(y) == 1
+    y2 = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    b, m = y2.shape
+    if m != a.shape[0]:
+        raise ValueError(f"y frames have length {m}, expected {a.shape[0]}")
+    n = a.shape[1]
+    lipschitz = _lipschitz(a)
+    if lipschitz == 0:
+        out = np.zeros((b, n))
+        return out[0] if single else out
+    step = 1.0 / lipschitz
+    z = np.zeros((b, n))
+    momentum = z.copy()
+    t = 1.0
+    gram = a.T @ a  # (N, N), precomputed: gradient = momentum @ gram - y A
+    ya = y2 @ a  # (B, N)
+    for _ in range(n_iter):
+        gradient = momentum @ gram - ya
+        z_next = _soft_threshold(momentum - step * gradient, lam * step)
+        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        momentum = z_next + ((t - 1.0) / t_next) * (z_next - z)
+        delta = np.max(np.abs(z_next - z))
+        z = z_next
+        t = t_next
+        if delta <= tol:
+            break
+    if debias:
+        for i in range(b):
+            support = np.flatnonzero(z[i])
+            if 0 < support.size <= m:
+                z[i] = least_squares_on_support(a, y2[i], support)
+    return z[0] if single else z
+
+
+def iht(
+    a: np.ndarray,
+    y: np.ndarray,
+    sparsity: int,
+    n_iter: int = 200,
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Iterative Hard Thresholding (Blumensath & Davies).
+
+    Projected gradient descent onto the set of K-sparse vectors:
+    ``z <- H_K(z + step * A^T (y - A z))`` with step ``1/L``.  Converges
+    to a local optimum when A satisfies a RIP at level 3K; cheaper per
+    iteration than OMP's growing least-squares and, unlike the LASSO
+    solvers, returns an exactly K-sparse iterate.
+
+    Supports batches like :func:`fista`: ``y`` of shape (M,) or (B, M).
+    """
+    sparsity = check_positive_int("sparsity", sparsity)
+    n_iter = check_positive_int("n_iter", n_iter)
+    single = np.ndim(y) == 1
+    y2 = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    b, m = y2.shape
+    if m != a.shape[0]:
+        raise ValueError(f"y frames have length {m}, expected {a.shape[0]}")
+    n = a.shape[1]
+    if sparsity > n:
+        raise ValueError(f"sparsity ({sparsity}) exceeds dictionary size ({n})")
+    lipschitz = _lipschitz(a)
+    if lipschitz == 0:
+        out = np.zeros((b, n))
+        return out[0] if single else out
+    step = 1.0 / lipschitz
+    z = np.zeros((b, n))
+    for _ in range(n_iter):
+        gradient = (z @ a.T - y2) @ a
+        candidate = z - step * gradient
+        # Keep the K largest-magnitude entries per row.
+        thresholds = np.partition(np.abs(candidate), n - sparsity, axis=1)[
+            :, n - sparsity
+        ][:, None]
+        z_next = np.where(np.abs(candidate) >= thresholds, candidate, 0.0)
+        if np.max(np.abs(z_next - z)) <= tol:
+            z = z_next
+            break
+        z = z_next
+    return z[0] if single else z
+
+
+@dataclass
+class Reconstructor:
+    """Basis + solver bundle used by the CS signal chain.
+
+    Parameters
+    ----------
+    basis:
+        N x N synthesis matrix ``Psi`` (columns are atoms); ``None`` means
+        the canonical basis (recover ``x`` directly).
+    method:
+        ``"fista"`` (default), ``"ista"`` or ``"omp"``.
+    lam_rel:
+        For the LASSO solvers: ``lam = lam_rel * max|A^T y|`` per batch,
+        the standard scale-free parameterisation.
+    sparsity:
+        For OMP: atoms to select.
+    n_iter:
+        Iteration budget for the LASSO solvers.
+    debias:
+        Apply least-squares debiasing on the recovered support.
+    """
+
+    basis: np.ndarray | None = None
+    method: str = "fista"
+    lam_rel: float = 0.02
+    sparsity: int = 32
+    n_iter: int = 120
+    debias: bool = False
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("fista", "ista", "omp", "iht"):
+            raise ValueError(f"unknown reconstruction method {self.method!r}")
+        check_positive("lam_rel", self.lam_rel)
+        check_positive_int("sparsity", self.sparsity)
+        check_positive_int("n_iter", self.n_iter)
+
+    def _effective_dictionary(self, phi_eff: np.ndarray) -> np.ndarray:
+        """A = Phi_eff @ Psi, cached per Phi_eff identity."""
+        key = id(phi_eff)
+        cached = self._cache.get(key)
+        if cached is None or cached[0] is not phi_eff:
+            a = phi_eff if self.basis is None else phi_eff @ self.basis
+            self._cache = {key: (phi_eff, a)}
+            cached = self._cache[key]
+        return cached[1]
+
+    def recover(self, phi_eff: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Recover signal frames from measurements.
+
+        ``phi_eff`` is the effective (weighted) sensing matrix; ``y`` a
+        single measurement (M,) or batch (B, M).  Returns reconstructed
+        signal frames (N,) or (B, N).
+        """
+        a = self._effective_dictionary(phi_eff)
+        single = np.ndim(y) == 1
+        y2 = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        if self.method == "omp":
+            coeffs = np.stack([omp(a, row, sparsity=self.sparsity) for row in y2])
+        elif self.method == "iht":
+            coeffs = np.atleast_2d(iht(a, y2, sparsity=self.sparsity, n_iter=self.n_iter))
+        else:
+            lam_scale = np.max(np.abs(y2 @ a))
+            lam = self.lam_rel * (lam_scale if lam_scale > 0 else 1.0)
+            solver = fista if self.method == "fista" else ista
+            if self.method == "fista":
+                coeffs = fista(a, y2, lam, n_iter=self.n_iter, debias=self.debias)
+            else:
+                coeffs = solver(a, y2, lam, n_iter=self.n_iter)
+            coeffs = np.atleast_2d(coeffs)
+        frames = coeffs if self.basis is None else coeffs @ self.basis.T
+        return frames[0] if single else frames

@@ -1,0 +1,194 @@
+"""Raw-waveform frame-level seizure detector (the ref. [20] stand-in).
+
+The paper scores front-ends with the CNN of Ullah et al. [20], which
+consumes *raw EEG waveforms*.  This detector mirrors that interface: it
+chops each record into fixed-length frames, feeds the raw samples into the
+from-scratch MLP, and averages the frame probabilities into the
+record-level decision.
+
+Operating on raw samples (instead of spectral features) matters for the
+pathfinding experiments: broadband front-end degradations -- LNA noise,
+quantization error, reconstruction residue -- perturb every input
+dimension directly, so detection accuracy responds smoothly and
+monotonically to signal quality, exactly the behaviour the paper's
+accuracy-vs-power sweeps rely on.  (Engineered band-power features are
+largely blind to white noise: a 20 uV broadband floor adds only ~2 uV
+inside the delta band.  A feature-based alternative is provided by
+:class:`repro.detection.classifier.SeizureDetector`.)
+
+Training applies continuum noise augmentation: each record is replicated
+with white-noise levels drawn log-uniformly across the sweep range, so the
+learned decision boundary is marginalised over noise levels rather than
+anchored to a few discrete ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detection.mlp import Mlp, MlpConfig
+from repro.util.rng import derive_seed, make_rng
+from repro.util.validation import check_positive, check_positive_int
+
+
+@dataclass
+class FrameMlpDetector:
+    """Record-level seizure classifier on raw waveform frames.
+
+    Parameters
+    ----------
+    sample_rate:
+        Rate of the records it will score, Hz.
+    frame_length:
+        Samples per frame (default 384 = the CS frame, so the detector's
+        receptive field matches the reconstruction granularity).
+    mlp_config:
+        MLP hyper-parameters; the default (128, 48) hidden stack is sized
+        for 384-sample inputs.
+    augment_noise_range:
+        (low, high) RMS bounds in volts of the log-uniform training noise
+        augmentation; ``None`` disables augmentation.
+    augment_copies:
+        How many noise-augmented copies of the training set to add.
+    seed:
+        Master seed of augmentation and training.
+    """
+
+    sample_rate: float
+    frame_length: int = 384
+    mlp_config: MlpConfig = field(
+        default_factory=lambda: MlpConfig(hidden_sizes=(128, 48), n_epochs=60, batch_size=64)
+    )
+    augment_noise_range: tuple[float, float] | None = (1e-6, 25e-6)
+    augment_copies: int = 3
+    seed: int = 11
+    _mlp: Mlp | None = field(default=None, repr=False)
+    _scale: float = field(default=1.0, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("sample_rate", self.sample_rate)
+        check_positive_int("frame_length", self.frame_length)
+        if self.augment_noise_range is not None:
+            lo, hi = self.augment_noise_range
+            if not 0 < lo < hi:
+                raise ValueError(f"invalid augment_noise_range {self.augment_noise_range}")
+
+    # --- framing --------------------------------------------------------------
+
+    def _frames(self, records: np.ndarray) -> np.ndarray:
+        """(R, S) records -> (R, n_frames, frame_length), remainder dropped."""
+        records = np.asarray(records, dtype=np.float64)
+        if records.ndim != 2:
+            raise ValueError(f"records must be (n_records, n_samples), got {records.shape}")
+        n_frames = records.shape[1] // self.frame_length
+        if n_frames == 0:
+            raise ValueError(
+                f"records of {records.shape[1]} samples are shorter than one frame "
+                f"({self.frame_length})"
+            )
+        clipped = records[:, : n_frames * self.frame_length]
+        return clipped.reshape(records.shape[0], n_frames, self.frame_length)
+
+    # --- training ---------------------------------------------------------------
+
+    def fit(self, records: np.ndarray, labels: np.ndarray) -> "FrameMlpDetector":
+        """Train on clean records with continuum noise augmentation.
+
+        The minority class is oversampled to balance before training.
+        """
+        labels = np.asarray(labels, dtype=int)
+        frames = self._frames(records)
+        rng = make_rng(derive_seed(self.seed, "augment"))
+
+        variants = [records]
+        if self.augment_noise_range is not None and self.augment_copies > 0:
+            lo, hi = self.augment_noise_range
+            for _ in range(self.augment_copies):
+                levels = 10 ** rng.uniform(
+                    np.log10(lo), np.log10(hi), size=(records.shape[0], 1)
+                )
+                variants.append(records + rng.normal(0.0, 1.0, records.shape) * levels)
+        all_frames = np.concatenate([self._frames(v) for v in variants], axis=0)
+        all_labels = np.tile(labels, len(variants))
+
+        x = all_frames.reshape(-1, self.frame_length)
+        y = np.repeat(all_labels, all_frames.shape[1])
+
+        # Single global scale: preserves amplitude ratios between records
+        # (ictal EEG is large -- that IS a feature), unlike per-frame
+        # normalisation.
+        self._scale = float(np.std(x))
+        if self._scale == 0:
+            raise ValueError("training records have zero variance")
+        x = x / self._scale
+
+        counts = np.bincount(y, minlength=2)
+        if counts.min() > 0 and counts[0] != counts[1]:
+            minority = int(np.argmin(counts))
+            idx = np.flatnonzero(y == minority)
+            reps = counts.max() // counts.min()
+            extra = np.tile(idx, reps - 1)
+            x = np.vstack([x, x[extra]])
+            y = np.concatenate([y, y[extra]])
+
+        config = MlpConfig(**{**self.mlp_config.__dict__, "seed": derive_seed(self.seed, "mlp")})
+        self._mlp = Mlp(n_inputs=self.frame_length, n_classes=2, config=config).fit(x, y)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._mlp is not None
+
+    def _require_fitted(self) -> Mlp:
+        if self._mlp is None:
+            raise RuntimeError("detector is not fitted; call fit() first")
+        return self._mlp
+
+    # --- inference -----------------------------------------------------------------
+
+    def predict_proba(self, records: np.ndarray) -> np.ndarray:
+        """Record-level seizure probability = mean over frame probabilities."""
+        mlp = self._require_fitted()
+        frames = self._frames(records)
+        flat = frames.reshape(-1, self.frame_length) / self._scale
+        frame_probs = mlp.predict_proba(flat)[:, 1]
+        return frame_probs.reshape(frames.shape[0], frames.shape[1]).mean(axis=1)
+
+    def predict(self, records: np.ndarray) -> np.ndarray:
+        """Hard 0/1 record decisions (probability threshold 0.5)."""
+        return (self.predict_proba(records) >= 0.5).astype(int)
+
+    def accuracy(self, records: np.ndarray, labels: np.ndarray) -> float:
+        """Hard record-level classification accuracy."""
+        return float(np.mean(self.predict(records) == np.asarray(labels, dtype=int)))
+
+    def soft_accuracy(self, records: np.ndarray, labels: np.ndarray) -> float:
+        """Mean probability assigned to the correct class.
+
+        A continuous, low-variance estimator of the expected accuracy over
+        the record population -- preferable to hard accuracy when the
+        evaluation set is small (the quantisation of hard accuracy at
+        1/n_records otherwise masks sub-percent effects the paper's
+        500-record evaluation can resolve).
+        """
+        labels = np.asarray(labels, dtype=int)
+        probs = self.predict_proba(records)
+        correct = np.where(labels == 1, probs, 1.0 - probs)
+        return float(np.mean(correct))
+
+    def sensitivity_specificity(
+        self, records: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, float]:
+        """(sensitivity, specificity) of the hard decisions."""
+        labels = np.asarray(labels, dtype=int)
+        predictions = self.predict(records)
+        tp = int(np.sum((labels == 1) & (predictions == 1)))
+        fn = int(np.sum((labels == 1) & (predictions == 0)))
+        tn = int(np.sum((labels == 0) & (predictions == 0)))
+        fp = int(np.sum((labels == 0) & (predictions == 1)))
+        sensitivity = tp / (tp + fn) if (tp + fn) else 0.0
+        specificity = tn / (tn + fp) if (tn + fp) else 0.0
+        return float(sensitivity), float(specificity)

@@ -1,0 +1,203 @@
+"""From-scratch numpy multilayer perceptron.
+
+A compact, dependency-free MLP classifier (ReLU hidden layers, softmax
+output, cross-entropy loss, Adam optimiser, mini-batching, optional early
+stopping) standing in for the deep CNN of the paper's ref. [20].  Written
+for deterministic, seed-reproducible training -- a requirement for the
+explorer, whose accuracy goal must be a pure function of the design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_positive_int
+
+
+def _one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    out = np.zeros((labels.size, n_classes))
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable softmax."""
+    shifted = logits - np.max(logits, axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of predicted ``probabilities`` against labels."""
+    clipped = np.clip(probabilities[np.arange(labels.size), labels], 1e-12, 1.0)
+    return float(-np.mean(np.log(clipped)))
+
+
+@dataclass
+class MlpConfig:
+    """Hyper-parameters of the MLP trainer."""
+
+    hidden_sizes: tuple[int, ...] = (32, 16)
+    learning_rate: float = 3e-3
+    n_epochs: int = 300
+    batch_size: int = 32
+    weight_decay: float = 1e-4
+    early_stop_patience: int = 40
+    validation_fraction: float = 0.15
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+        for size in self.hidden_sizes:
+            check_positive_int("hidden size", size)
+        check_positive("learning_rate", self.learning_rate)
+        check_positive_int("n_epochs", self.n_epochs)
+        check_positive_int("batch_size", self.batch_size)
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+
+
+@dataclass
+class Mlp:
+    """Trainable MLP.  Use :meth:`fit`, then :meth:`predict`/`predict_proba`.
+
+    Weights are He-initialised from the config seed; Adam moments are kept
+    per parameter.  ``history`` records (train_loss, val_accuracy) per
+    epoch for diagnostics.
+    """
+
+    n_inputs: int
+    n_classes: int = 2
+    config: MlpConfig = field(default_factory=MlpConfig)
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_inputs", self.n_inputs)
+        check_positive_int("n_classes", self.n_classes)
+        rng = make_rng(self.config.seed)
+        sizes = [self.n_inputs, *self.config.hidden_sizes, self.n_classes]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self.history: list[tuple[float, float]] = []
+        self._rng = rng
+
+    # --- forward / backward ---------------------------------------------------
+
+    def _forward(self, x: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Return (pre-activations per layer inputs, output probabilities)."""
+        activations = [x]
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            x = np.maximum(x @ w + b, 0.0)
+            activations.append(x)
+        logits = x @ self.weights[-1] + self.biases[-1]
+        return activations, softmax(logits)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities, shape (n, n_classes)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return self._forward(x)[1]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions."""
+        return float(np.mean(self.predict(x) == np.asarray(labels)))
+
+    # --- training ----------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, labels: np.ndarray) -> "Mlp":
+        """Train with Adam + mini-batches; returns self.
+
+        A stratification-free random validation split drives early
+        stopping (restoring the best-validation weights) when
+        ``early_stop_patience > 0`` and data suffices.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(labels, dtype=int)
+        if x.ndim != 2 or x.shape[0] != labels.size:
+            raise ValueError(f"bad training shapes: x {x.shape}, labels {labels.shape}")
+        cfg = self.config
+        n = x.shape[0]
+        order = self._rng.permutation(n)
+        n_val = int(cfg.validation_fraction * n)
+        use_early_stop = cfg.early_stop_patience > 0 and n_val >= 8
+        if use_early_stop:
+            val_idx, train_idx = order[:n_val], order[n_val:]
+        else:
+            val_idx, train_idx = order[:0], order
+        x_train, y_train = x[train_idx], labels[train_idx]
+        x_val, y_val = x[val_idx], labels[val_idx]
+
+        # Adam state.
+        m_w = [np.zeros_like(w) for w in self.weights]
+        v_w = [np.zeros_like(w) for w in self.weights]
+        m_b = [np.zeros_like(b) for b in self.biases]
+        v_b = [np.zeros_like(b) for b in self.biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val = -np.inf
+        best_state: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        stale = 0
+
+        for epoch in range(cfg.n_epochs):
+            perm = self._rng.permutation(x_train.shape[0])
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, x_train.shape[0], cfg.batch_size):
+                batch = perm[start : start + cfg.batch_size]
+                xb, yb = x_train[batch], y_train[batch]
+                activations, probs = self._forward(xb)
+                epoch_loss += cross_entropy(probs, yb)
+                n_batches += 1
+                # Backward pass.
+                delta = (probs - _one_hot(yb, self.n_classes)) / xb.shape[0]
+                grads_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+                grads_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+                for layer in range(len(self.weights) - 1, -1, -1):
+                    grads_w[layer] = activations[layer].T @ delta + cfg.weight_decay * (
+                        self.weights[layer]
+                    )
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights[layer].T) * (activations[layer] > 0)
+                # Adam update.
+                step += 1
+                for layer in range(len(self.weights)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    m_hat_w = m_w[layer] / (1 - beta1**step)
+                    v_hat_w = v_w[layer] / (1 - beta2**step)
+                    m_hat_b = m_b[layer] / (1 - beta1**step)
+                    v_hat_b = v_b[layer] / (1 - beta2**step)
+                    self.weights[layer] -= cfg.learning_rate * m_hat_w / (np.sqrt(v_hat_w) + eps)
+                    self.biases[layer] -= cfg.learning_rate * m_hat_b / (np.sqrt(v_hat_b) + eps)
+
+            val_acc = self.accuracy(x_val, y_val) if use_early_stop else np.nan
+            self.history.append((epoch_loss / max(n_batches, 1), val_acc))
+            if use_early_stop:
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_state = (
+                        [w.copy() for w in self.weights],
+                        [b.copy() for b in self.biases],
+                    )
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= cfg.early_stop_patience:
+                        break
+        if best_state is not None:
+            self.weights, self.biases = best_state
+        return self

@@ -1,0 +1,155 @@
+"""EEG record and dataset containers.
+
+The paper evaluates on 500 single-channel EEG segments of 23.6 s sampled
+at 173.61 Hz (the Bonn corpus layout), labelled seizure / non-seizure.
+These containers hold any such corpus -- the bundled synthetic generator
+(:mod:`repro.eeg.synthetic`) or user-supplied recordings -- and provide
+the split/iteration plumbing the detection goal function needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+#: Record labels.
+NON_SEIZURE = 0
+SEIZURE = 1
+
+
+@dataclass
+class EegRecord:
+    """One single-channel EEG segment.
+
+    Attributes
+    ----------
+    data:
+        Samples in volts (EEG amplitudes are tens of microvolts).
+    sample_rate:
+        Hz.
+    label:
+        :data:`SEIZURE` or :data:`NON_SEIZURE`.
+    record_id:
+        Stable identifier (used in seeding and reporting).
+    meta:
+        Free-form provenance (generator parameters, subject, ...).
+    """
+
+    data: np.ndarray
+    sample_rate: float
+    label: int
+    record_id: str
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.data.ndim != 1:
+            raise ValueError(f"EEG record must be 1-D, got shape {self.data.shape}")
+        check_positive("sample_rate", self.sample_rate)
+        if self.label not in (NON_SEIZURE, SEIZURE):
+            raise ValueError(f"label must be 0 or 1, got {self.label}")
+
+    @property
+    def duration(self) -> float:
+        """Record length in seconds."""
+        return self.data.size / self.sample_rate
+
+    @property
+    def is_seizure(self) -> bool:
+        """True for ictal records."""
+        return self.label == SEIZURE
+
+
+class EegDataset:
+    """An ordered collection of labelled EEG records."""
+
+    def __init__(self, records: Sequence[EegRecord], name: str = "eeg"):
+        if not records:
+            raise ValueError("dataset must contain at least one record")
+        rates = {record.sample_rate for record in records}
+        if len(rates) > 1:
+            raise ValueError(f"records have mixed sample rates: {sorted(rates)}")
+        self.name = name
+        self._records = list(records)
+
+    # --- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EegRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> EegRecord:
+        return self._records[index]
+
+    @property
+    def sample_rate(self) -> float:
+        """Common sample rate of all records, Hz."""
+        return self._records[0].sample_rate
+
+    @property
+    def records(self) -> list[EegRecord]:
+        """The records (list copy)."""
+        return list(self._records)
+
+    def labels(self) -> np.ndarray:
+        """Label vector, shape (n_records,)."""
+        return np.array([record.label for record in self._records], dtype=int)
+
+    def seizure_fraction(self) -> float:
+        """Fraction of ictal records."""
+        return float(np.mean(self.labels()))
+
+    # --- manipulation ---------------------------------------------------------
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "EegDataset":
+        """Dataset restricted to ``indices`` (order preserved)."""
+        picked = [self._records[i] for i in indices]
+        return EegDataset(picked, name=name or f"{self.name}-subset")
+
+    def split(
+        self, train_fraction: float = 0.5, seed: int | None = None
+    ) -> tuple["EegDataset", "EegDataset"]:
+        """Stratified train/test split.
+
+        Shuffles within each label class so both splits keep the dataset's
+        seizure fraction, then returns (train, test).
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        rng = make_rng(seed)
+        labels = self.labels()
+        train_idx: list[int] = []
+        test_idx: list[int] = []
+        for label in (NON_SEIZURE, SEIZURE):
+            members = np.flatnonzero(labels == label)
+            rng.shuffle(members)
+            cut = int(round(train_fraction * members.size))
+            train_idx.extend(members[:cut].tolist())
+            test_idx.extend(members[cut:].tolist())
+        train_idx.sort()
+        test_idx.sort()
+        return (
+            self.subset(train_idx, name=f"{self.name}-train"),
+            self.subset(test_idx, name=f"{self.name}-test"),
+        )
+
+    def stacked(self, n_samples: int | None = None) -> np.ndarray:
+        """All records as a (n_records, n_samples) matrix.
+
+        Records are truncated to the shortest record (or ``n_samples``).
+        """
+        min_len = min(record.data.size for record in self._records)
+        if n_samples is not None:
+            if n_samples > min_len:
+                raise ValueError(
+                    f"requested {n_samples} samples but shortest record has {min_len}"
+                )
+            min_len = n_samples
+        return np.stack([record.data[:min_len] for record in self._records])

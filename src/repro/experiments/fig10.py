@@ -1,0 +1,92 @@
+"""Fig. 10 -- area-constrained accuracy/power Pareto fronts.
+
+Repeats the Fig. 7 b) Pareto analysis under a cap on the total capacitance
+(area).  The paper's finding, asserted by the benchmark: tightening the
+area budget **limits the maximum achievable accuracy** -- small caps force
+small hold-capacitor counts (low M) or exclude the CS branch entirely, so
+the CS advantage only materialises when the area increase is tolerated
+(e.g. on bondpad-limited dies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pareto import Objective
+from repro.core.results import Evaluation, ExplorationResult
+
+#: Default area caps swept, in C_u,min units.  Chosen to bite at every
+#: structural boundary of the search space: 300 admits only the low-
+#: resolution baselines (6/7-bit DAC arrays), 700 admits the full-
+#: resolution baseline (~470 units), 2400 admits the M=75 CS bank
+#: (~1700 units), 4800 admits every design.
+DEFAULT_AREA_CAPS = (300.0, 700.0, 2400.0, 4800.0)
+
+#: Pareto objectives of the accuracy-power trade (same as Fig. 7 b).
+OBJECTIVES = (Objective("power_uw", maximize=False), Objective("accuracy", maximize=True))
+
+
+@dataclass
+class ConstrainedFront:
+    """Pareto front under one area cap."""
+
+    max_area_units: float
+    front: list[Evaluation] = field(default_factory=list)
+
+    @property
+    def max_accuracy(self) -> float | None:
+        """Best accuracy achievable within the cap (None if infeasible)."""
+        if not self.front:
+            return None
+        return max(evaluation.metric("accuracy") for evaluation in self.front)
+
+    @property
+    def min_power_uw(self) -> float | None:
+        """Lowest power on the constrained front."""
+        if not self.front:
+            return None
+        return min(evaluation.metric("power_uw") for evaluation in self.front)
+
+    def contains_cs(self) -> bool:
+        """True if any CS point survives the cap."""
+        return any(evaluation.point.use_cs for evaluation in self.front)
+
+
+@dataclass
+class Fig10Result:
+    """Constrained fronts for every swept cap (ascending)."""
+
+    fronts: list[ConstrainedFront]
+
+    def max_accuracies(self) -> list[float | None]:
+        """Max accuracy per cap, ascending cap order (the Fig. 10 trend)."""
+        return [front.max_accuracy for front in self.fronts]
+
+    def render(self) -> str:
+        """Summary table: cap -> achievable accuracy, CS availability."""
+        lines = [f"{'area cap [xCu]':>15}{'max accuracy':>14}{'cs feasible':>13}{'points':>8}"]
+        for front in self.fronts:
+            acc = front.max_accuracy
+            lines.append(
+                f"{front.max_area_units:>15.0f}"
+                f"{(f'{acc:.3f}' if acc is not None else 'none'):>14}"
+                f"{str(front.contains_cs()):>13}{len(front.front):>8}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_fig10(
+    sweep: ExplorationResult,
+    area_caps: tuple[float, ...] = DEFAULT_AREA_CAPS,
+) -> Fig10Result:
+    """Extract the area-constrained fronts from the shared sweep."""
+    if not area_caps:
+        raise ValueError("need at least one area cap")
+    fronts = []
+    for cap in sorted(area_caps):
+        front = sweep.pareto(
+            OBJECTIVES,
+            constraint=lambda metrics, cap=cap: metrics["area_units"] <= cap,
+        )
+        fronts.append(ConstrainedFront(max_area_units=cap, front=front))
+    return Fig10Result(fronts=fronts)

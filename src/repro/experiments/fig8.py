@@ -1,0 +1,72 @@
+"""Fig. 8 -- per-block power breakdown of the two optimal design points.
+
+Compares the block-level power of the optimal baseline configuration
+against the optimal CS configuration (from Fig. 7 b).  The paper's
+findings, asserted by the benchmark:
+
+* the CS optimum spends **much less in the transmitter** (fewer
+  transmitted words -- the expected effect of compression);
+* the CS optimum also spends **much less in the LNA** -- the non-obvious
+  insight: the CS system tolerates a higher input noise floor because the
+  reconstruction of summed measurements averages noise out;
+* the CS encoder adds digital power, but only a **marginal** amount
+  compared to the savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import Evaluation, ExplorationResult
+from repro.experiments.fig7 import MIN_ACCURACY, analyze_fig7
+from repro.power.models import BLOCK_ORDER
+from repro.util.constants import MICRO
+
+
+@dataclass
+class Fig8Result:
+    """The two optimal breakdowns, plus the deltas the paper highlights."""
+
+    baseline: Evaluation
+    cs: Evaluation
+
+    def breakdown_uw(self, which: str) -> dict[str, float]:
+        """Per-block power of one optimum, in uW."""
+        evaluation = {"baseline": self.baseline, "cs": self.cs}[which]
+        return {name: watts / MICRO for name, watts in evaluation.breakdown.items()}
+
+    def delta_uw(self, block: str) -> float:
+        """CS minus baseline power of ``block`` (negative = CS saves)."""
+        base = self.baseline.breakdown.get(block, 0.0)
+        cs = self.cs.breakdown.get(block, 0.0)
+        return (cs - base) / MICRO
+
+    def savings_table(self) -> str:
+        """Side-by-side breakdown in the figure's block order."""
+        blocks = [
+            name
+            for name in BLOCK_ORDER
+            if name in self.baseline.breakdown or name in self.cs.breakdown
+        ]
+        lines = [f"{'block':<12}{'baseline [uW]':>15}{'cs [uW]':>12}{'delta [uW]':>13}"]
+        for block in blocks:
+            base = self.baseline.breakdown.get(block, 0.0) / MICRO
+            cs = self.cs.breakdown.get(block, 0.0) / MICRO
+            lines.append(f"{block:<12}{base:>15.4f}{cs:>12.4f}{cs - base:>13.4f}")
+        lines.append(
+            f"{'total':<12}{self.baseline.metric('power_uw'):>15.4f}"
+            f"{self.cs.metric('power_uw'):>12.4f}"
+            f"{self.cs.metric('power_uw') - self.baseline.metric('power_uw'):>13.4f}"
+        )
+        return "\n".join(lines)
+
+
+def analyze_fig8(sweep: ExplorationResult, min_accuracy: float = MIN_ACCURACY) -> Fig8Result:
+    """Extract the Fig. 8 comparison from the shared search-space sweep."""
+    fig7 = analyze_fig7(sweep, min_accuracy=min_accuracy)
+    if fig7.optimal_baseline is None or fig7.optimal_cs is None:
+        raise ValueError(
+            "no feasible optimum for one of the architectures; widen the sweep "
+            "or lower min_accuracy"
+        )
+    return Fig8Result(baseline=fig7.optimal_baseline, cs=fig7.optimal_cs)

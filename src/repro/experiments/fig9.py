@@ -1,0 +1,67 @@
+"""Fig. 9 -- detection accuracy vs total capacitor area.
+
+Plots every search-space point's accuracy against its total capacitance
+(in multiples of the minimum technology capacitor C_u,min -- the paper's
+area proxy, since capacitors dominate mixed-signal die area).
+
+The finding asserted by the benchmark: the CS architecture costs
+**significantly more capacitor area** than the baseline (M hold
+capacitors plus the sampling pair, against the baseline's DAC array
+alone) -- area is the price of the CS power saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import Evaluation, ExplorationResult
+
+
+@dataclass
+class Fig9Result:
+    """Accuracy-vs-area scatter, split by architecture."""
+
+    baseline: list[Evaluation]
+    cs: list[Evaluation]
+
+    def area_range(self, which: str) -> tuple[float, float]:
+        """(min, max) area in C_u,min units for one architecture."""
+        population = {"baseline": self.baseline, "cs": self.cs}[which]
+        areas = [evaluation.metric("area_units") for evaluation in population]
+        return (min(areas), max(areas))
+
+    def median_area(self, which: str) -> float:
+        """Median area of one architecture's points."""
+        population = {"baseline": self.baseline, "cs": self.cs}[which]
+        return float(np.median([e.metric("area_units") for e in population]))
+
+    def area_ratio(self) -> float:
+        """Median CS area / median baseline area (the paper's 'significant
+        increase')."""
+        return self.median_area("cs") / self.median_area("baseline")
+
+    def scatter(self, which: str) -> list[tuple[float, float]]:
+        """(area_units, accuracy) pairs of one architecture."""
+        population = {"baseline": self.baseline, "cs": self.cs}[which]
+        return [
+            (evaluation.metric("area_units"), evaluation.metric("accuracy"))
+            for evaluation in population
+        ]
+
+    def render(self) -> str:
+        """Text rendering of the scatter, ordered by area."""
+        lines = [f"{'arch':<10}{'area [xCu]':>12}{'accuracy':>10}  design point"]
+        for name in ("baseline", "cs"):
+            for area, accuracy in sorted(self.scatter(name)):
+                lines.append(f"{name:<10}{area:>12.1f}{accuracy:>10.3f}")
+        return "\n".join(lines)
+
+
+def analyze_fig9(sweep: ExplorationResult) -> Fig9Result:
+    """Extract the Fig. 9 scatter from the shared search-space sweep."""
+    baseline, cs = sweep.split_by_architecture()
+    if len(baseline) == 0 or len(cs) == 0:
+        raise ValueError("sweep must contain both architectures")
+    return Fig9Result(baseline=baseline.evaluations, cs=cs.evaluations)

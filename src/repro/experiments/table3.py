@@ -1,0 +1,113 @@
+"""Table III -- technology constants and the swept design parameters.
+
+Encodes the paper's Table III as data: the extracted gpdk045 technology
+constants (implemented by :class:`~repro.power.technology.Technology`) and
+the design-parameter sweep ranges, from which
+:func:`paper_search_space` builds the exact search space of the Fig. 7-10
+experiments (baseline grid union CS grid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import CompositeSpace, ParameterSpace
+from repro.power.technology import GPDK045, DesignPoint, Technology
+from repro.util.constants import MICRO
+
+#: Paper sweep: LNA input-referred noise 1-20 (uVrms).
+NOISE_SWEEP_UV = (1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 20.0)
+
+#: Paper sweep: ADC resolution 6-8 bit.
+N_BITS_SWEEP = (6, 7, 8)
+
+#: Paper sweep: compressed measurements per N_phi = 384 frame.
+CS_M_SWEEP = (75, 150, 192)
+
+#: Frame length of the CS encoder.
+CS_N_PHI = 384
+
+
+def technology_rows(technology: Technology = GPDK045) -> list[tuple[str, str, float, str]]:
+    """(symbol, description, value, unit) rows of the technology half."""
+    return [
+        ("C_logic", "logic gate capacitance", technology.c_logic, "F"),
+        ("gm/Id", "transconductance efficiency", technology.gm_over_id, "1/V"),
+        ("c_density", "capacitor density", technology.cap_density, "F/um^2"),
+        ("C_u,min", "minimum unit capacitor", technology.cu_min, "F"),
+        ("C_pk", "published matching figure", technology.c_pk, "%/um^2"),
+        ("sigma_u", "unit-cap mismatch sigma", technology.unit_cap_mismatch_sigma, "-"),
+        ("I_leak", "switch leakage", technology.i_leak, "A"),
+        ("E_bit", "energy per transmitted bit", technology.e_bit, "J"),
+        ("V_T", "thermal voltage", technology.v_t, "V"),
+        ("NEF", "LNA noise-efficiency factor", technology.nef, "-"),
+    ]
+
+
+def design_rows(point: DesignPoint | None = None) -> list[tuple[str, str, object, str]]:
+    """(symbol, description, value, unit) rows of the design half."""
+    point = point or DesignPoint()
+    return [
+        ("BW_in", "input bandwidth", point.bw_in, "Hz"),
+        ("M, N_phi", "CS measurements / frame length", f"{CS_M_SWEEP} / {CS_N_PHI}", "-"),
+        ("noise floor", "LNA input noise sweep", f"{NOISE_SWEEP_UV} uVrms", "-"),
+        ("N", "ADC resolution sweep", N_BITS_SWEEP, "bit"),
+        ("V_dd", "supply", point.v_dd, "V"),
+        ("f_sample", "2.1 * BW_in", point.f_sample, "Hz"),
+        ("f_clk", "(N+1) * f_sample", point.f_clk, "Hz"),
+        ("V_FS, V_ref", "full scale / reference", point.v_fs, "V"),
+        ("BW_LNA", "3 * BW_in", point.bw_lna, "Hz"),
+    ]
+
+
+def render_table3() -> str:
+    """Both halves of Table III as fixed-width text."""
+    lines = [f"{'symbol':<14}{'description':<34}{'value':>16}  unit"]
+    lines.append("-- technology (gpdk045 extraction) --")
+    for symbol, desc, value, unit in technology_rows():
+        lines.append(f"{symbol:<14}{desc:<34}{value!s:>16}  {unit}")
+    lines.append("-- design parameters --")
+    for symbol, desc, value, unit in design_rows():
+        lines.append(f"{symbol:<14}{desc:<34}{value!s:>16}  {unit}")
+    return "\n".join(lines)
+
+
+def paper_search_space(
+    noise_values_uv: tuple[float, ...] = NOISE_SWEEP_UV,
+    n_bits_values: tuple[int, ...] = N_BITS_SWEEP,
+    cs_m_values: tuple[int, ...] = CS_M_SWEEP,
+) -> CompositeSpace:
+    """The Fig. 7-10 search space: baseline grid union CS grid.
+
+    Baseline sweeps noise x resolution; the CS branch additionally sweeps
+    the measurement count M at N_phi = 384 and s = 2 (fixed by the
+    architecture of Fig. 5).
+    """
+    noise_volts = [value * MICRO for value in noise_values_uv]
+    baseline = ParameterSpace(
+        {
+            "use_cs": [False],
+            "lna_noise_rms": noise_volts,
+            "n_bits": list(n_bits_values),
+        }
+    )
+    cs = ParameterSpace(
+        {
+            "use_cs": [True],
+            "lna_noise_rms": noise_volts,
+            "n_bits": list(n_bits_values),
+            "cs_m": list(cs_m_values),
+        }
+    )
+    return baseline | cs
+
+
+def space_summary() -> dict[str, int]:
+    """Point counts of the paper search space (used by the Table III bench)."""
+    space = paper_search_space()
+    baseline, cs = space.spaces
+    return {
+        "baseline_points": baseline.size,
+        "cs_points": cs.size,
+        "total_points": space.size,
+    }

@@ -1,0 +1,23 @@
+"""Signal-quality metrics: SNR/SNDR/ENOB (tone + reference based), NMSE/PRD."""
+
+from repro.metrics.quality import correlation, nmse, prd
+from repro.metrics.snr import (
+    ToneAnalysis,
+    analyze_sine,
+    enob_sine,
+    sndr_sine,
+    snr_vs_reference,
+    thd_sine,
+)
+
+__all__ = [
+    "ToneAnalysis",
+    "analyze_sine",
+    "correlation",
+    "enob_sine",
+    "nmse",
+    "prd",
+    "sndr_sine",
+    "snr_vs_reference",
+    "thd_sine",
+]

@@ -1,0 +1,55 @@
+"""Waveform-fidelity metrics: NMSE, PRD, correlation.
+
+Used mainly to grade CS reconstruction quality (PRD -- percentage
+root-mean-square difference -- is the standard metric of the biomedical CS
+literature, e.g. Zhang et al. [8] of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(reference: np.ndarray, estimate: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    reference = np.asarray(reference, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if reference.shape != estimate.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs estimate {estimate.shape}"
+        )
+    return reference, estimate
+
+
+def nmse(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Normalised mean squared error ``||r - e||^2 / ||r||^2``."""
+    reference, estimate = _check_pair(reference, estimate)
+    denom = float(np.sum(reference**2))
+    if denom == 0:
+        raise ValueError("reference signal is identically zero")
+    return float(np.sum((reference - estimate) ** 2)) / denom
+
+
+def prd(reference: np.ndarray, estimate: np.ndarray, remove_mean: bool = True) -> float:
+    """Percentage RMS difference, the biomedical-CS fidelity standard.
+
+    ``PRD = 100 * ||r - e|| / ||r - mean(r)||`` (mean removal per the
+    common PRD1 convention; disable for the raw variant).  PRD < 9 % is
+    conventionally "very good" reconstruction for biosignals.
+    """
+    reference, estimate = _check_pair(reference, estimate)
+    centred = reference - np.mean(reference) if remove_mean else reference
+    denom = float(np.linalg.norm(centred))
+    if denom == 0:
+        raise ValueError("reference signal has no energy after mean removal")
+    return 100.0 * float(np.linalg.norm(reference - estimate)) / denom
+
+
+def correlation(reference: np.ndarray, estimate: np.ndarray) -> float:
+    """Pearson correlation coefficient between the two streams."""
+    reference, estimate = _check_pair(reference, estimate)
+    ref_c = reference - np.mean(reference)
+    est_c = estimate - np.mean(estimate)
+    denom = float(np.linalg.norm(ref_c) * np.linalg.norm(est_c))
+    if denom == 0:
+        return 0.0
+    return float(np.dot(ref_c, est_c)) / denom

@@ -1,0 +1,137 @@
+"""Signal-quality metrics: SNR, SNDR, THD, ENOB.
+
+Two families:
+
+* **Reference-based** (:func:`snr_vs_reference`) -- compares a processed
+  stream against the known clean input (optimal-gain aligned), the metric
+  used for dataset signals where no tone structure exists.  This is the
+  "achieved SNR" axis of the paper's Fig. 7 a).
+* **Spectral single-tone** (:func:`sndr_sine`, :func:`thd_sine`) -- the
+  classic coherent-FFT ADC analysis used for Fig. 4: the fundamental bin
+  is the signal, harmonic bins are distortion, everything else is noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.constants import db, enob_from_sndr
+from repro.util.validation import check_positive_int
+
+
+def snr_vs_reference(reference: np.ndarray, processed: np.ndarray) -> float:
+    """SNR in dB of ``processed`` against the clean ``reference``.
+
+    The processed stream is first aligned with the optimal scalar gain
+    ``g = <ref, proc> / <proc, proc>`` so that pure gain errors (which any
+    digital back-end would calibrate out) do not count as noise.  Streams
+    must have equal length.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    processed = np.asarray(processed, dtype=np.float64)
+    if reference.shape != processed.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs processed {processed.shape}"
+        )
+    signal_power = float(np.mean(reference**2))
+    if signal_power == 0:
+        raise ValueError("reference signal is identically zero")
+    denom = float(np.dot(processed, processed))
+    gain = float(np.dot(reference, processed)) / denom if denom > 0 else 0.0
+    error = reference - gain * processed
+    noise_power = float(np.mean(error**2))
+    if noise_power == 0:
+        return np.inf
+    return db(signal_power / noise_power)
+
+
+@dataclass(frozen=True)
+class ToneAnalysis:
+    """Result of a coherent single-tone FFT analysis."""
+
+    sndr_db: float
+    snr_db: float
+    thd_db: float
+    enob: float
+    fundamental_bin: int
+    fundamental_power: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SNDR={self.sndr_db:.2f} dB, SNR={self.snr_db:.2f} dB, "
+            f"THD={self.thd_db:.2f} dB, ENOB={self.enob:.2f} b"
+        )
+
+
+def analyze_sine(
+    data: np.ndarray,
+    n_harmonics: int = 5,
+    exclude_dc_bins: int = 1,
+) -> ToneAnalysis:
+    """Coherent FFT analysis of a (nominally) single-tone record.
+
+    Assumes the tone is bin-centred (use a coherent source); no windowing
+    is applied.  The fundamental is located as the largest non-DC bin.
+    ``n_harmonics`` harmonic bins (with aliasing folded back into the first
+    Nyquist zone) count as distortion; remaining bins count as noise.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 1:
+        raise ValueError(f"expected a 1-D record, got shape {data.shape}")
+    n = data.size
+    check_positive_int("record length", n)
+    spectrum = np.fft.rfft(data)
+    power = np.abs(spectrum) ** 2
+    power[0:exclude_dc_bins] = 0.0
+    fundamental = int(np.argmax(power))
+    if power[fundamental] == 0:
+        raise ValueError("record contains no tone (flat spectrum)")
+    p_fund = float(power[fundamental])
+
+    harmonic_bins = []
+    n_bins = power.size
+    for k in range(2, 2 + n_harmonics):
+        bin_k = fundamental * k
+        # Fold aliased harmonics back into [0, N/2].
+        folded = bin_k % (2 * (n_bins - 1))
+        if folded >= n_bins:
+            folded = 2 * (n_bins - 1) - folded
+        if 0 < folded < n_bins and folded != fundamental:
+            harmonic_bins.append(folded)
+    p_harm = float(sum(power[b] for b in set(harmonic_bins)))
+
+    mask = np.ones(n_bins, dtype=bool)
+    mask[:exclude_dc_bins] = False
+    mask[fundamental] = False
+    for b in set(harmonic_bins):
+        mask[b] = False
+    p_noise = float(np.sum(power[mask]))
+
+    sndr = db(p_fund / (p_noise + p_harm)) if (p_noise + p_harm) > 0 else np.inf
+    snr = db(p_fund / p_noise) if p_noise > 0 else np.inf
+    thd = db(p_harm / p_fund) if p_harm > 0 else -np.inf
+    return ToneAnalysis(
+        sndr_db=sndr,
+        snr_db=snr,
+        thd_db=thd,
+        enob=enob_from_sndr(sndr) if np.isfinite(sndr) else np.inf,
+        fundamental_bin=fundamental,
+        fundamental_power=p_fund,
+    )
+
+
+def sndr_sine(data: np.ndarray, n_harmonics: int = 5) -> float:
+    """SNDR in dB of a coherent single-tone record."""
+    return analyze_sine(data, n_harmonics=n_harmonics).sndr_db
+
+
+def thd_sine(data: np.ndarray, n_harmonics: int = 5) -> float:
+    """THD in dB (harmonic power over fundamental) of a tone record."""
+    return analyze_sine(data, n_harmonics=n_harmonics).thd_db
+
+
+def enob_sine(data: np.ndarray, n_harmonics: int = 5) -> float:
+    """Effective number of bits from the measured SNDR of a tone record."""
+    return analyze_sine(data, n_harmonics=n_harmonics).enob

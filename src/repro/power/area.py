@@ -1,0 +1,94 @@
+"""Capacitor area model (paper Figs. 9 and 10).
+
+In mixed-signal front-ends the silicon area is dominated by capacitors, so
+the paper estimates design area as the *total capacitance*, expressed in
+multiples of the minimum technology capacitor ``C_u,min``.  This module
+implements that accounting for both architectures:
+
+* **Baseline** -- the binary-weighted SAR DAC array (``2^N`` matching-sized
+  unit capacitors) plus the kT/C-sized sample-and-hold capacitor.
+* **CS** -- the same ADC capacitors, plus ``s`` sampling capacitors and
+  ``M`` hold capacitors of the charge-sharing encoder, each sized by the
+  stricter of the noise and matching constraints
+  (:attr:`DesignPoint.cs_hold_capacitance`).
+
+The CS encoder multiplies the analog capacitance by roughly the number of
+hold channels, which is why Fig. 9 shows the CS system costing markedly more
+area -- the flip side of its power saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.technology import DesignPoint
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Capacitor inventory of one design point.
+
+    All capacitances in farads; ``units`` expresses the paper's Fig. 9
+    metric (total capacitance / C_u,min).
+    """
+
+    dac_capacitance: float
+    sample_capacitance: float
+    cs_capacitance: float
+    cu_min: float
+    cap_density: float
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total capacitance in farads."""
+        return self.dac_capacitance + self.sample_capacitance + self.cs_capacitance
+
+    @property
+    def units(self) -> float:
+        """Total capacitance in multiples of C_u,min (Fig. 9 y-metric)."""
+        return self.total_capacitance / self.cu_min
+
+    @property
+    def area_um2(self) -> float:
+        """Estimated silicon area of the capacitors in um^2."""
+        return self.total_capacitance / self.cap_density
+
+    def breakdown_units(self) -> dict[str, float]:
+        """Per-group capacitance in C_u,min units."""
+        return {
+            "dac": self.dac_capacitance / self.cu_min,
+            "sample": self.sample_capacitance / self.cu_min,
+            "cs_encoder": self.cs_capacitance / self.cu_min,
+        }
+
+    def as_table(self) -> str:
+        """Fixed-width text table of the capacitor budget."""
+        rows = self.breakdown_units()
+        lines = [f"{'group':<12} {'C [x Cu_min]':>14}"]
+        for name, units in rows.items():
+            lines.append(f"{name:<12} {units:>14.1f}")
+        lines.append(f"{'total':<12} {self.units:>14.1f}")
+        return "\n".join(lines)
+
+
+def chain_area(point: DesignPoint) -> AreaReport:
+    """Capacitor area estimate for one design point (Fig. 9 metric)."""
+    tech = point.technology
+    dac_cap = (2.0**point.n_bits) * tech.dac_unit_cap(point.n_bits)
+    if point.use_cs:
+        # The encoder's C_sample replaces the dedicated S&H capacitor.
+        sample_cap = 0.0
+        cs_cap = (
+            point.cs_sparsity * point.cs_sample_capacitance
+            + point.cs_m * point.cs_hold_capacitance
+        )
+    else:
+        sample_cap = point.sampling_capacitance
+        cs_cap = 0.0
+    return AreaReport(
+        dac_capacitance=dac_cap,
+        sample_capacitance=sample_cap,
+        cs_capacitance=cs_cap,
+        cu_min=tech.cu_min,
+        cap_density=tech.cap_density,
+    )

@@ -1,0 +1,148 @@
+"""Analytical input-referred noise budget of a front-end design point.
+
+Pathfinding tools live and die by quick closed-form sanity checks: before
+running a behavioural simulation, a designer wants the input-referred
+noise stack and the SNR ceiling it implies.  This module computes that
+budget from the same design-point parameters the behavioural models use,
+so the two can be cross-checked (the test suite asserts the analytical
+SNR matches the simulated chain within fractions of a dB).
+
+Contributors (all expressed as input-referred RMS voltages):
+
+* **LNA thermal noise** -- the swept ``lna_noise_rms`` itself;
+* **kT/C sampling noise** -- of the S&H (baseline) or C_hold (CS)
+  capacitor, divided by the LNA gain;
+* **quantization noise** -- ``LSB / sqrt(12)`` of the N-bit converter,
+  input-referred through the gain;
+* **comparator noise** -- per-decision RMS mapped to an effective
+  per-sample error (approximately one decision's worth, as the final
+  LSB decision dominates), input-referred.
+
+Being uncorrelated, the contributions add in power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.power.technology import DesignPoint
+from repro.util.constants import db
+
+
+@dataclass(frozen=True)
+class NoiseBudget:
+    """Input-referred noise stack of one design point (volts RMS)."""
+
+    lna_noise: float
+    ktc_noise: float
+    quantization_noise: float
+    comparator_noise: float
+
+    @property
+    def total(self) -> float:
+        """Root-sum-square of all contributors, volts RMS."""
+        return math.sqrt(
+            self.lna_noise**2
+            + self.ktc_noise**2
+            + self.quantization_noise**2
+            + self.comparator_noise**2
+        )
+
+    def contributions(self) -> dict[str, float]:
+        """Name -> input-referred RMS volts."""
+        return {
+            "lna": self.lna_noise,
+            "ktc": self.ktc_noise,
+            "quantization": self.quantization_noise,
+            "comparator": self.comparator_noise,
+        }
+
+    def fractions(self) -> dict[str, float]:
+        """Name -> share of the total noise *power*."""
+        total_power = self.total**2
+        if total_power == 0:
+            return {name: 0.0 for name in self.contributions()}
+        return {
+            name: value**2 / total_power for name, value in self.contributions().items()
+        }
+
+    def dominant(self) -> str:
+        """Largest contributor."""
+        return max(self.contributions(), key=lambda k: self.contributions()[k])
+
+    def snr_db(self, signal_rms: float) -> float:
+        """Predicted SNR in dB for a signal of ``signal_rms`` volts."""
+        if signal_rms <= 0:
+            raise ValueError(f"signal_rms must be > 0, got {signal_rms}")
+        if self.total == 0:
+            return float("inf")
+        return db((signal_rms / self.total) ** 2)
+
+    def as_table(self) -> str:
+        """Fixed-width text table of the stack (uVrms and power share)."""
+        lines = [f"{'source':<14}{'uVrms':>10}{'share':>9}"]
+        fractions = self.fractions()
+        for name, value in self.contributions().items():
+            lines.append(f"{name:<14}{value * 1e6:>10.3f}{fractions[name]:>8.1%}")
+        lines.append(f"{'total':<14}{self.total * 1e6:>10.3f}{'100.0%':>9}")
+        return "\n".join(lines)
+
+
+def noise_budget(
+    point: DesignPoint,
+    comparator_noise_lsb: float = 0.25,
+) -> NoiseBudget:
+    """Analytical input-referred noise budget of ``point``.
+
+    ``comparator_noise_lsb`` matches the behavioural SAR model's default
+    (comparator sigma = LSB/4 per decision); the final-decision error is
+    what reaches the code, so one decision's worth is input-referred.
+    """
+    gain = point.lna_gain
+    lsb = point.v_fs / 2.0**point.n_bits
+
+    ktc_at_adc = point.technology.kt_c_noise_rms(
+        point.cs_hold_capacitance if point.use_cs and point.cs_architecture == "analog"
+        else point.sampling_capacitance
+    )
+    quantization_at_adc = lsb / math.sqrt(12.0)
+    comparator_at_adc = comparator_noise_lsb * lsb
+
+    return NoiseBudget(
+        lna_noise=point.lna_noise_rms,
+        ktc_noise=ktc_at_adc / gain,
+        quantization_noise=quantization_at_adc / gain,
+        comparator_noise=comparator_at_adc / gain,
+    )
+
+
+def required_noise_floor(
+    point: DesignPoint,
+    signal_rms: float,
+    target_snr_db: float,
+    comparator_noise_lsb: float = 0.25,
+) -> float:
+    """Largest LNA noise floor (Vrms) still meeting ``target_snr_db``.
+
+    Inverts the budget: subtracts the fixed converter-side contributions
+    from the allowed total noise power.  Raises ``ValueError`` when the
+    converter alone already violates the target (the designer must raise
+    the resolution or the gain first) -- exactly the kind of feasibility
+    answer a pathfinding tool should give in closed form.
+    """
+    if target_snr_db <= 0:
+        raise ValueError(f"target_snr_db must be > 0, got {target_snr_db}")
+    if signal_rms <= 0:
+        raise ValueError(f"signal_rms must be > 0, got {signal_rms}")
+    allowed_total_sq = signal_rms**2 / 10.0 ** (target_snr_db / 10.0)
+    fixed = noise_budget(point, comparator_noise_lsb=comparator_noise_lsb)
+    fixed_sq = fixed.ktc_noise**2 + fixed.quantization_noise**2 + fixed.comparator_noise**2
+    if fixed_sq >= allowed_total_sq:
+        raise ValueError(
+            "converter-side noise alone exceeds the target SNR "
+            f"({math.sqrt(fixed_sq) * 1e6:.2f} uVrms fixed vs "
+            f"{math.sqrt(allowed_total_sq) * 1e6:.2f} uVrms allowed); "
+            "increase n_bits or lna_gain"
+        )
+    return math.sqrt(allowed_total_sq - fixed_sq)

@@ -1,0 +1,99 @@
+"""Physical constants and SI unit prefixes used throughout EffiCSense.
+
+All internal computation uses base SI units (volts, farads, hertz, watts,
+seconds).  The prefix constants below exist so that model code and tests can
+write ``2 * MILLI`` or ``1 * FEMTO`` instead of raw exponents, which keeps
+the power-model equations visually close to Table II/III of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants -------------------------------------------------
+
+#: Boltzmann constant in J/K.
+BOLTZMANN_K = 1.380649e-23
+
+#: Default simulation temperature in kelvin (27 degC, standard for circuit
+#: simulation and the operating point assumed by the paper's power bounds).
+ROOM_TEMPERATURE_K = 300.15
+
+#: Thermal energy kT at the default temperature, in joules.
+KT_ROOM = BOLTZMANN_K * ROOM_TEMPERATURE_K
+
+#: Elementary charge in coulombs (used for leakage/shot-noise estimates).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+# --- SI prefixes -----------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+
+def thermal_energy(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return kT in joules at ``temperature_k``.
+
+    >>> round(thermal_energy() / 1e-21, 2)
+    4.14
+    """
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN_K * temperature_k
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return the thermal voltage kT/q in volts.
+
+    The paper's Table III lists V_T = 25.27 mV, which corresponds to
+    approximately 20 degC; we keep the extracted value in
+    :class:`repro.power.technology.Technology` and provide this helper for
+    consistency checks.
+    """
+    return thermal_energy(temperature_k) / ELEMENTARY_CHARGE
+
+
+def db(ratio: float) -> float:
+    """Convert a power ratio to decibels."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db_amplitude(ratio: float) -> float:
+    """Convert an amplitude ratio to decibels (20*log10)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(value_db: float) -> float:
+    """Convert decibels to a power ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def from_db_amplitude(value_db: float) -> float:
+    """Convert decibels to an amplitude ratio."""
+    return 10.0 ** (value_db / 20.0)
+
+
+def enob_from_sndr(sndr_db: float) -> float:
+    """Effective number of bits from an SNDR in dB.
+
+    Standard conversion ENOB = (SNDR - 1.76) / 6.02 used when relating a
+    measured mixed-signal chain back to an ideal quantizer.
+    """
+    return (sndr_db - 1.76) / 6.02
+
+
+def sndr_from_enob(enob: float) -> float:
+    """Ideal SNDR in dB achieved by an ``enob``-bit quantizer."""
+    return 6.02 * enob + 1.76

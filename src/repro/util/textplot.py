@@ -1,0 +1,163 @@
+"""Terminal plotting: ASCII scatter and line charts.
+
+The reproduction runs in headless environments, so the examples and
+experiment renders draw their figures as text.  Minimal but correct:
+linear axis scaling, multiple labelled series, axis tick labels, and
+stable output (no randomness) so the plots can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+#: Glyphs assigned to series in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    """One named point set of a chart."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    glyph: str = ""
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64).ravel()
+        self.y = np.asarray(self.y, dtype=np.float64).ravel()
+        if self.x.size != self.y.size:
+            raise ValueError(
+                f"series {self.name!r}: x has {self.x.size} points, y has {self.y.size}"
+            )
+        if self.x.size == 0:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+@dataclass
+class TextChart:
+    """ASCII chart builder.
+
+    >>> chart = TextChart(width=40, height=10, x_label="power", y_label="acc")
+    >>> chart.add("baseline", [1, 2, 3], [0.5, 0.7, 0.9])   # doctest: +ELLIPSIS
+    TextChart(...)
+    >>> print(chart.render())                                # doctest: +SKIP
+    """
+
+    width: int = 64
+    height: int = 18
+    x_label: str = "x"
+    y_label: str = "y"
+    title: str = ""
+    series: list[Series] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive_int("width", self.width)
+        check_positive_int("height", self.height)
+        if self.width < 16 or self.height < 4:
+            raise ValueError("chart needs width >= 16 and height >= 4")
+
+    def add(self, name: str, x: Sequence[float], y: Sequence[float]) -> "TextChart":
+        """Add a series (fluent)."""
+        glyph = SERIES_GLYPHS[len(self.series) % len(SERIES_GLYPHS)]
+        self.series.append(Series(name=name, x=np.asarray(x), y=np.asarray(y), glyph=glyph))
+        return self
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = np.concatenate([s.x for s in self.series])
+        ys = np.concatenate([s.y for s in self.series])
+        x_lo, x_hi = float(xs.min()), float(xs.max())
+        y_lo, y_hi = float(ys.min()), float(ys.max())
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        """Render the chart to a multi-line string."""
+        if not self.series:
+            raise ValueError("chart has no series")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series in self.series:
+            cols = np.clip(
+                np.round((series.x - x_lo) / (x_hi - x_lo) * (self.width - 1)).astype(int),
+                0,
+                self.width - 1,
+            )
+            rows = np.clip(
+                np.round((series.y - y_lo) / (y_hi - y_lo) * (self.height - 1)).astype(int),
+                0,
+                self.height - 1,
+            )
+            for col, row in zip(cols, rows):
+                grid[self.height - 1 - row][col] = series.glyph
+
+        margin = 11
+        lines: list[str] = []
+        if self.title:
+            lines.append(" " * margin + self.title)
+        for i, row in enumerate(grid):
+            if i == 0:
+                tick = f"{y_hi:>9.3g} "
+            elif i == self.height - 1:
+                tick = f"{y_lo:>9.3g} "
+            elif i == self.height // 2:
+                tick = f"{(y_lo + y_hi) / 2:>9.3g} "
+            else:
+                tick = " " * 10
+            lines.append(f"{tick}|{''.join(row)}")
+        lines.append(" " * 10 + "+" + "-" * self.width)
+        x_ticks = f"{x_lo:<12.4g}{(x_lo + x_hi) / 2:^{max(self.width - 24, 1)}.4g}{x_hi:>12.4g}"
+        lines.append(" " * 11 + x_ticks)
+        lines.append(" " * 11 + f"{self.x_label}  (y: {self.y_label})")
+        legend = "   ".join(f"{s.glyph} {s.name}" for s in self.series)
+        lines.append(" " * 11 + legend)
+        return "\n".join(lines)
+
+
+def scatter(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """One-call scatter chart: ``{name: (xs, ys)}`` -> rendered string."""
+    chart = TextChart(
+        width=width, height=height, x_label=x_label, y_label=y_label, title=title
+    )
+    for name, (xs, ys) in series.items():
+        chart.add(name, xs, ys)
+    return chart.render()
+
+
+def pareto_chart(
+    fronts: dict[str, Sequence],
+    x_metric: str = "power_uw",
+    y_metric: str = "accuracy",
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Scatter chart of Pareto fronts (sequences of ``Evaluation``)."""
+    series = {
+        name: (
+            [e.metric(x_metric) for e in front],
+            [e.metric(y_metric) for e in front],
+        )
+        for name, front in fronts.items()
+        if front
+    }
+    if not series:
+        raise ValueError("no non-empty fronts to plot")
+    return scatter(
+        series, x_label=x_metric, y_label=y_metric, title=title, width=width, height=height
+    )

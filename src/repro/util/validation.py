@@ -1,0 +1,78 @@
+"""Lightweight argument-validation helpers.
+
+Model code in EffiCSense is parameter heavy (Table III of the paper alone
+has a dozen knobs); these helpers keep the constructors readable while still
+failing fast with messages that name the offending parameter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    value = float(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Return ``value`` if within [0, 1], else raise ``ValueError``."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Return ``value`` as int if a strictly positive integer."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def check_in(name: str, value: object, allowed: Sequence[object]) -> object:
+    """Return ``value`` if contained in ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {list(allowed)!r}, got {value!r}")
+    return value
+
+
+def check_range(name: str, value: float, low: float, high: float) -> float:
+    """Return ``value`` if within [low, high] inclusive."""
+    value = float(value)
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def as_1d_array(name: str, values: object, dtype=np.float64) -> np.ndarray:
+    """Coerce ``values`` to a 1-D numpy array, raising on higher rank."""
+    arr = np.asarray(values, dtype=dtype)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_finite(name: str, values: np.ndarray) -> np.ndarray:
+    """Raise ``ValueError`` if any entry of ``values`` is NaN or infinite."""
+    arr = np.asarray(values)
+    if not np.all(np.isfinite(arr)):
+        bad = int(np.count_nonzero(~np.isfinite(arr)))
+        raise ValueError(f"{name} contains {bad} non-finite values")
+    return arr

@@ -1,0 +1,30 @@
+"""Shared fixtures for the EffiCSense test suite."""
+
+import numpy as np
+import pytest
+
+from repro.power.technology import DesignPoint, Technology
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def baseline_point():
+    """The reference baseline design point used across tests."""
+    return DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+
+
+@pytest.fixture
+def cs_point():
+    """The reference CS design point used across tests."""
+    return DesignPoint(n_bits=8, lna_noise_rms=8e-6, use_cs=True, cs_m=150)
+
+
+@pytest.fixture
+def ideal_technology():
+    """A technology with every stochastic non-ideality disabled."""
+    return Technology(unit_cap_mismatch_sigma=0.0, i_leak=1e-30)

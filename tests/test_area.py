@@ -1,0 +1,71 @@
+"""Tests of the capacitor-area model (Fig. 9 metric)."""
+
+import pytest
+
+from repro.power.area import AreaReport, chain_area
+from repro.power.technology import DesignPoint, Technology
+
+
+class TestAreaReport:
+    def make_report(self):
+        return AreaReport(
+            dac_capacitance=256e-15,
+            sample_capacitance=1e-15,
+            cs_capacitance=0.0,
+            cu_min=1e-15,
+            cap_density=1.025e-15,
+        )
+
+    def test_total_and_units(self):
+        report = self.make_report()
+        assert report.total_capacitance == pytest.approx(257e-15)
+        assert report.units == pytest.approx(257.0)
+
+    def test_area_um2(self):
+        report = self.make_report()
+        assert report.area_um2 == pytest.approx(257e-15 / 1.025e-15)
+
+    def test_breakdown_and_table(self):
+        report = self.make_report()
+        breakdown = report.breakdown_units()
+        assert breakdown["dac"] == pytest.approx(256.0)
+        assert "total" in report.as_table()
+
+
+class TestChainArea:
+    def test_baseline_is_dac_plus_sample(self, baseline_point):
+        report = chain_area(baseline_point)
+        assert report.cs_capacitance == 0.0
+        tech = baseline_point.technology
+        expected_dac = 2.0**8 * tech.dac_unit_cap(8)
+        assert report.dac_capacitance == pytest.approx(expected_dac)
+        assert report.sample_capacitance == pytest.approx(
+            baseline_point.sampling_capacitance
+        )
+
+    def test_cs_adds_hold_bank(self, cs_point):
+        report = chain_area(cs_point)
+        expected = (
+            2 * cs_point.cs_sample_capacitance + 150 * cs_point.cs_hold_capacitance
+        )
+        assert report.cs_capacitance == pytest.approx(expected)
+        assert report.sample_capacitance == 0.0  # encoder replaces the S&H cap
+
+    def test_cs_area_grows_with_m(self, cs_point):
+        small = chain_area(cs_point.with_(cs_m=75))
+        large = chain_area(cs_point.with_(cs_m=192))
+        assert large.units > small.units
+
+    def test_resolution_grows_dac_array(self):
+        low = chain_area(DesignPoint(n_bits=6))
+        high = chain_area(DesignPoint(n_bits=8))
+        assert high.units > low.units
+
+    def test_cs_significantly_larger_than_baseline(self, baseline_point, cs_point):
+        # The paper's Fig. 9 reading.
+        assert chain_area(cs_point).units > 3 * chain_area(baseline_point).units
+
+    def test_ideal_matching_shrinks_dac(self, baseline_point):
+        ideal_tech = Technology(unit_cap_mismatch_sigma=0.0)
+        ideal = chain_area(baseline_point.with_(technology=ideal_tech))
+        assert ideal.dac_capacitance <= chain_area(baseline_point).dac_capacitance

@@ -1,0 +1,131 @@
+"""Tests of the pre-wired baseline and CS chains."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.chains import (
+    build_baseline_chain,
+    build_chain,
+    build_cs_chain,
+    encoder_attenuation,
+)
+from repro.blocks.sources import from_array, sine
+from repro.core.simulator import Simulator
+from repro.cs.matrices import srbm_balanced
+from repro.metrics.snr import snr_vs_reference
+from repro.power.technology import DesignPoint
+
+
+class TestBuilders:
+    def test_baseline_block_order(self, baseline_point):
+        chain = build_baseline_chain(baseline_point)
+        assert chain.block_names() == [
+            "lna",
+            "sample_hold",
+            "adc",
+            "transmitter",
+            "normalizer",
+        ]
+
+    def test_cs_block_order(self, cs_point):
+        chain = build_cs_chain(cs_point)
+        assert chain.block_names() == [
+            "lna",
+            "cs_encoder",
+            "adc",
+            "transmitter",
+            "reconstruction",
+            "normalizer",
+        ]
+
+    def test_build_chain_dispatch(self, baseline_point, cs_point):
+        assert build_chain(baseline_point).name == "baseline"
+        assert build_chain(cs_point).name == "cs"
+
+    def test_wrong_architecture_rejected(self, baseline_point, cs_point):
+        with pytest.raises(ValueError):
+            build_baseline_chain(cs_point)
+        with pytest.raises(ValueError):
+            build_cs_chain(baseline_point)
+
+    def test_matrix_dimension_check(self, cs_point):
+        wrong = srbm_balanced(64, 384, 2, seed=1)
+        with pytest.raises(ValueError, match="matrix"):
+            build_cs_chain(cs_point, matrix=wrong)
+
+    def test_gain_compensation_applied(self, cs_point):
+        chain = build_cs_chain(cs_point, seed=1)
+        lna = chain.block("lna")
+        assert lna.gain > cs_point.lna_gain  # encoder attenuates -> boost
+
+    def test_gain_compensation_optional(self, cs_point):
+        chain = build_cs_chain(cs_point, seed=1, compensate_attenuation=False)
+        assert chain.block("lna").gain == cs_point.lna_gain
+
+    def test_attenuation_value_sane(self, cs_point):
+        chain = build_cs_chain(cs_point, seed=1)
+        att = encoder_attenuation(chain.block("cs_encoder").phi_effective)
+        assert 0.05 < att < 1.0
+
+
+class TestEndToEnd:
+    def test_baseline_roundtrip_quality(self, baseline_point):
+        tone = sine(
+            frequency=40.0,
+            amplitude=0.9 * baseline_point.v_fs / 2 / baseline_point.lna_gain,
+            sample_rate=baseline_point.f_sample,
+            n_samples=4096,
+        )
+        result = Simulator(build_baseline_chain(baseline_point, seed=1), baseline_point, seed=2).run(tone)
+        assert snr_vs_reference(tone.data, result.output.data) > 35.0
+
+    def test_baseline_power_matches_chain_model(self, baseline_point):
+        from repro.power.models import chain_power
+
+        tone = sine(
+            frequency=40.0,
+            amplitude=1e-4,
+            sample_rate=baseline_point.f_sample,
+            n_samples=1024,
+        )
+        result = Simulator(build_baseline_chain(baseline_point, seed=1), baseline_point, seed=2).run(tone)
+        # The simulator's collected power agrees with the closed-form chain
+        # model (same Table II equations, DAC evaluated at mid-scale).
+        assert result.power.total == pytest.approx(chain_power(baseline_point).total, rel=0.01)
+
+    def test_cs_roundtrip_on_compressible_signal(self, cs_point, rng):
+        # Smooth (lowpass) signal, 4 frames.
+        from scipy import signal as sp
+
+        b, a = sp.butter(4, 15, fs=cs_point.f_sample)
+        x = sp.lfilter(b, a, rng.normal(size=4 * 384)) * 2e-4
+        result = Simulator(build_cs_chain(cs_point, seed=1), cs_point, seed=2).run(
+            from_array(x, cs_point.f_sample)
+        )
+        assert result.output.data.shape == x.shape
+        assert snr_vs_reference(x, result.output.data) > 8.0
+
+    def test_cs_transmits_fewer_bits(self, cs_point):
+        chain = build_cs_chain(cs_point, seed=1)
+        stream = from_array(np.zeros(4 * 384), cs_point.f_sample)
+        Simulator(chain, cs_point, seed=2).run(stream)
+        tx = chain.block("transmitter")
+        assert tx.transmitted_bits == 4 * cs_point.cs_m * cs_point.n_bits
+
+    def test_deterministic_end_to_end(self, cs_point, rng):
+        x = rng.normal(size=2 * 384) * 1e-4
+        sim = Simulator(build_cs_chain(cs_point, seed=3), cs_point, seed=4)
+        first = sim.run(from_array(x, cs_point.f_sample)).output.data
+        second = sim.run(from_array(x, cs_point.f_sample)).output.data
+        np.testing.assert_array_equal(first, second)
+
+    def test_cs_power_below_matched_baseline(self, cs_point):
+        baseline = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+        stream = from_array(np.zeros(384), cs_point.f_sample)
+        p_cs = Simulator(build_cs_chain(cs_point, seed=1), cs_point, seed=2).run(stream).power.total
+        p_base = (
+            Simulator(build_baseline_chain(baseline, seed=1), baseline, seed=2)
+            .run(from_array(np.zeros(384), baseline.f_sample))
+            .power.total
+        )
+        assert p_cs < 0.5 * p_base

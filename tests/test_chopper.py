@@ -1,0 +1,89 @@
+"""Tests of the chopper-stabilisation block."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.chopper import Chopper
+from repro.blocks.sources import sine
+from repro.core.block import SimulationContext
+from repro.core.signal import Signal
+
+
+def run_block(block, signal, seed=0):
+    return block.process(signal, SimulationContext(seed=seed))
+
+
+class TestChopper:
+    def test_residual_noise_scale(self):
+        chopper = Chopper(flicker_rms=20e-6, suppression=20.0)
+        out = run_block(chopper, Signal(np.zeros(100_000), 1000.0))
+        assert np.std(out.data) == pytest.approx(1e-6, rel=0.05)
+
+    def test_suppression_one_injects_full_flicker(self):
+        chopper = Chopper(flicker_rms=20e-6, suppression=1.0)
+        out = run_block(chopper, Signal(np.zeros(100_000), 1000.0))
+        assert np.std(out.data) == pytest.approx(20e-6, rel=0.05)
+
+    def test_noise_is_pink(self):
+        chopper = Chopper(flicker_rms=1e-3, suppression=1.0)
+        out = run_block(chopper, Signal(np.zeros(2**16), 1000.0))
+        spectrum = np.abs(np.fft.rfft(out.data)) ** 2
+        freqs = np.fft.rfftfreq(2**16, 1 / 1000.0)
+        low = spectrum[(freqs > 1) & (freqs < 5)].mean()
+        high = spectrum[(freqs > 200) & (freqs < 400)].mean()
+        assert low > 10 * high
+
+    def test_signal_passes_through(self):
+        chopper = Chopper(flicker_rms=1e-9, suppression=20.0)
+        tone = sine(frequency=50.0, amplitude=1.0, sample_rate=1000.0, n_samples=2048)
+        out = run_block(chopper, tone)
+        np.testing.assert_allclose(out.data, tone.data, atol=1e-6)
+
+    def test_deterministic_per_seed(self):
+        chopper = Chopper(flicker_rms=1e-3)
+        sig = Signal(np.zeros(256), 1000.0)
+        a = run_block(chopper, sig, seed=1).data
+        b = run_block(chopper, sig, seed=1).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_power_model(self, baseline_point):
+        chopper = Chopper(flicker_rms=1e-6, chop_ratio=8)
+        power = chopper.power(baseline_point)["chopper"]
+        expected = 4 * 1e-15 * 4.0 * 8 * baseline_point.f_sample
+        assert power == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Chopper(flicker_rms=0.0)
+        with pytest.raises(ValueError):
+            Chopper(flicker_rms=1e-6, suppression=0.5)
+        with pytest.raises(ValueError):
+            Chopper(flicker_rms=1e-6, chop_ratio=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            run_block(Chopper(flicker_rms=1e-6), Signal(np.zeros((2, 2)), 100.0))
+
+    def test_in_chain_improves_flicker_limited_sndr(self, baseline_point):
+        from repro.blocks.chains import build_baseline_chain
+        from repro.core.simulator import Simulator
+        from repro.metrics.snr import sndr_sine
+
+        flicker = 8e-6
+        tone = sine(
+            frequency=40.0,
+            amplitude=0.9 * baseline_point.v_fs / 2 / baseline_point.lna_gain,
+            sample_rate=baseline_point.f_sample,
+            n_samples=8192,
+        )
+        unchopped = build_baseline_chain(baseline_point, seed=1)
+        unchopped.insert_before("lna", Chopper(flicker, suppression=1.0, name="raw"))
+        chopped = build_baseline_chain(baseline_point, seed=1)
+        chopped.insert_before("lna", Chopper(flicker, suppression=20.0))
+        sndr_raw = sndr_sine(
+            Simulator(unchopped, baseline_point, seed=3).run(tone).tap("adc").data
+        )
+        sndr_chopped = sndr_sine(
+            Simulator(chopped, baseline_point, seed=3).run(tone).tap("adc").data
+        )
+        assert sndr_chopped > sndr_raw + 3.0

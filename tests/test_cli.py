@@ -1,0 +1,85 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.scale == "smoke"
+        assert args.min_accuracy == 0.9
+
+    def test_sweep_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scale", "galactic"])
+
+    def test_budget_flags(self):
+        args = build_parser().parse_args(["budget", "--bits", "6", "--cs", "--m", "75"])
+        assert args.bits == 6
+        assert args.cs
+        assert args.m == 75
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "EffiCSense" in out
+        assert "transmitter" in out
+        assert "BW_LNA" in out
+
+    def test_budget_baseline(self, capsys):
+        assert main(["budget", "--bits", "8", "--noise-uv", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "quantization" in out
+        assert "predicted SNR" in out
+        assert "estimated power" in out
+
+    def test_budget_cs(self, capsys):
+        assert main(["budget", "--cs", "--m", "75", "--noise-uv", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "CS(M=75/384" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "SNDR" in out
+        assert "Fig. 4" in out
+
+    def test_sweep_and_report_roundtrip(self, tmp_path, capsys):
+        sweep_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "smoke",
+                    "--save",
+                    str(sweep_path),
+                    "--csv",
+                    str(csv_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "accuracy front" in out
+        assert "Pareto" in out
+        assert sweep_path.exists()
+        assert csv_path.exists()
+        payload = json.loads(sweep_path.read_text())
+        assert payload["evaluations"]
+
+        assert main(["report", str(sweep_path), "--min-accuracy", "0.9"]) == 0
+        report_out = capsys.readouterr().out
+        assert "Fig. 7" in report_out
+        assert "Fig. 10" in report_out

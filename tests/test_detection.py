@@ -1,0 +1,220 @@
+"""Tests of feature extraction, the numpy MLP and the seizure detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.classifier import SeizureDetector
+from repro.detection.features import (
+    FEATURE_NAMES,
+    extract_feature_matrix,
+    extract_features,
+)
+from repro.detection.mlp import Mlp, MlpConfig, cross_entropy, softmax
+from repro.eeg.synthetic import SyntheticEegConfig, generate_record
+from repro.util.rng import make_rng
+
+
+def records_matrix(kind, n, fs=173.61, samples=2048):
+    config = SyntheticEegConfig()
+    rows = [
+        generate_record(kind, config, seed=i + (0 if kind == "seizure" else 1000), record_id=f"{kind}{i}").data[:samples]
+        for i in range(n)
+    ]
+    return np.stack(rows)
+
+
+class TestFeatures:
+    def test_vector_length_matches_names(self):
+        x = make_rng(1).normal(size=2048)
+        assert extract_features(x, 173.61).shape == (len(FEATURE_NAMES),)
+
+    def test_relative_band_powers_sum_to_one(self):
+        x = make_rng(1).normal(size=4096)
+        features = extract_features(x, 173.61)
+        n_bands = 5
+        assert np.sum(features[:n_bands]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pure_alpha_tone_lands_in_alpha_band(self):
+        fs = 173.61
+        t = np.arange(4096) / fs
+        x = np.sin(2 * np.pi * 10.0 * t)  # 10 Hz = alpha
+        features = extract_features(x, fs)
+        alpha_idx = list(FEATURE_NAMES).index("relpow_alpha")
+        assert features[alpha_idx] > 0.9
+
+    def test_line_length_tracks_frequency(self):
+        fs = 500.0
+        t = np.arange(4096) / fs
+        slow = extract_features(np.sin(2 * np.pi * 2 * t), fs)
+        fast = extract_features(np.sin(2 * np.pi * 50 * t), fs)
+        ll_idx = list(FEATURE_NAMES).index("line_length")
+        assert fast[ll_idx] > slow[ll_idx]
+
+    def test_kurtosis_of_spiky_signal(self):
+        rng = make_rng(2)
+        x = rng.normal(size=4096)
+        x[::512] += 30.0
+        features = extract_features(x, 173.61)
+        k_idx = list(FEATURE_NAMES).index("kurtosis")
+        assert features[k_idx] > 3.0
+
+    def test_all_features_finite(self):
+        for kind in ("background", "artifact", "seizure"):
+            mat = records_matrix(kind, 3)
+            features = extract_feature_matrix(mat, 173.61)
+            assert np.all(np.isfinite(features))
+
+    def test_seizure_separable_from_background(self):
+        seizure = extract_feature_matrix(records_matrix("seizure", 10), 173.61)
+        background = extract_feature_matrix(records_matrix("background", 10), 173.61)
+        power_idx = list(FEATURE_NAMES).index("log_power")
+        assert np.mean(seizure[:, power_idx]) > np.mean(background[:, power_idx])
+
+    def test_rejects_short_record(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros(4), 100.0)
+
+    def test_matrix_shape_check(self):
+        with pytest.raises(ValueError):
+            extract_feature_matrix(np.zeros(100), 100.0)
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_softmax_stability_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert probs[0, 0] == pytest.approx(1.0)
+        assert np.all(np.isfinite(probs))
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy(probs, np.array([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_penalises_wrong(self):
+        good = cross_entropy(np.array([[0.9, 0.1]]), np.array([0]))
+        bad = cross_entropy(np.array([[0.1, 0.9]]), np.array([0]))
+        assert bad > good
+
+
+class TestMlp:
+    def test_learns_linearly_separable(self, rng):
+        x = rng.normal(size=(300, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        mlp = Mlp(n_inputs=4, config=MlpConfig(n_epochs=150, seed=1))
+        mlp.fit(x, y)
+        assert mlp.accuracy(x, y) > 0.95
+
+    def test_learns_xor(self, rng):
+        x = rng.uniform(-1, 1, size=(600, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        mlp = Mlp(n_inputs=2, config=MlpConfig(hidden_sizes=(16, 16), n_epochs=400, seed=1))
+        mlp.fit(x, y)
+        assert mlp.accuracy(x, y) > 0.9
+
+    def test_deterministic_training(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(int)
+        a = Mlp(n_inputs=3, config=MlpConfig(n_epochs=30, seed=5)).fit(x, y)
+        b = Mlp(n_inputs=3, config=MlpConfig(n_epochs=30, seed=5)).fit(x, y)
+        np.testing.assert_array_equal(a.predict_proba(x), b.predict_proba(x))
+
+    def test_predict_shapes(self, rng):
+        mlp = Mlp(n_inputs=3)
+        x = rng.normal(size=(7, 3))
+        assert mlp.predict_proba(x).shape == (7, 2)
+        assert mlp.predict(x).shape == (7,)
+
+    def test_history_recorded(self, rng):
+        x = rng.normal(size=(64, 3))
+        y = (x[:, 0] > 0).astype(int)
+        mlp = Mlp(n_inputs=3, config=MlpConfig(n_epochs=10, early_stop_patience=0, seed=1))
+        mlp.fit(x, y)
+        assert len(mlp.history) == 10
+
+    def test_early_stopping_can_shorten(self, rng):
+        x = rng.normal(size=(400, 3))
+        y = (x[:, 0] > 0).astype(int)
+        mlp = Mlp(
+            n_inputs=3,
+            config=MlpConfig(n_epochs=500, early_stop_patience=5, seed=1),
+        )
+        mlp.fit(x, y)
+        assert len(mlp.history) < 500
+
+    def test_bad_shapes_rejected(self, rng):
+        mlp = Mlp(n_inputs=3)
+        with pytest.raises(ValueError):
+            mlp.fit(rng.normal(size=(10, 3)), np.zeros(9, dtype=int))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MlpConfig(hidden_sizes=())
+        with pytest.raises(ValueError):
+            MlpConfig(learning_rate=0.0)
+
+
+class TestSeizureDetector:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        fs = 173.61
+        seizure = records_matrix("seizure", 25)
+        background = records_matrix("background", 20)
+        artifact = records_matrix("artifact", 5)
+        x = np.vstack([seizure, background, artifact])
+        y = np.array([1] * 25 + [0] * 25)
+        detector = SeizureDetector(sample_rate=fs, mlp_config=MlpConfig(n_epochs=200, seed=2))
+        return detector.fit_arrays(x, y), x, y
+
+    def test_high_training_accuracy(self, trained):
+        detector, x, y = trained
+        assert detector.accuracy(x, y) > 0.9
+
+    def test_generalises_to_fresh_records(self, trained):
+        detector, _, _ = trained
+        fresh_seizure = records_matrix("seizure", 8)
+        fresh_background = records_matrix("background", 8)
+        # Fresh records need distinct seeds from the fixture's.
+        x = np.vstack([fresh_seizure, fresh_background]) * 1.0
+        y = np.array([1] * 8 + [0] * 8)
+        assert detector.accuracy(x, y) > 0.8
+
+    def test_noise_degrades_accuracy_monotone_trend(self, trained):
+        detector, x, y = trained
+        rng = make_rng(4)
+        accuracies = []
+        for noise in (0.0, 50e-6, 500e-6):
+            noisy = x + rng.normal(0, noise, x.shape) if noise else x
+            accuracies.append(detector.accuracy(noisy, y))
+        assert accuracies[0] >= accuracies[-1]
+
+    def test_probabilities_in_unit_interval(self, trained):
+        detector, x, _ = trained
+        probs = detector.predict_proba(x)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_confusion_matrix_sums(self, trained):
+        detector, x, y = trained
+        matrix = detector.confusion(x, y)
+        assert matrix.sum() == len(y)
+
+    def test_sensitivity_specificity_bounds(self, trained):
+        detector, x, y = trained
+        sens, spec = detector.sensitivity_specificity(x, y)
+        assert 0.0 <= sens <= 1.0
+        assert 0.0 <= spec <= 1.0
+
+    def test_unfitted_raises(self):
+        detector = SeizureDetector(sample_rate=100.0)
+        with pytest.raises(RuntimeError):
+            detector.predict(np.zeros((2, 256)))
+
+    def test_rate_mismatch_rejected(self):
+        from repro.eeg.dataset import EegDataset, EegRecord
+
+        detector = SeizureDetector(sample_rate=512.0)
+        ds = EegDataset([EegRecord(np.zeros(256), 100.0, 0, "x")])
+        with pytest.raises(ValueError, match="resample"):
+            detector.fit(ds)

@@ -1,0 +1,92 @@
+"""Tests of the CS diagnostics (coherence, RIP spread, recovery rate)."""
+
+import numpy as np
+import pytest
+
+from repro.cs.charge_sharing import ChargeSharingConfig, ChargeSharingEncoder
+from repro.cs.diagnostics import (
+    mutual_coherence,
+    recovery_rate,
+    rip_spread,
+    weight_dynamic_range,
+)
+from repro.cs.matrices import gaussian, srbm_balanced
+
+
+class TestMutualCoherence:
+    def test_orthogonal_matrix_zero_coherence(self):
+        assert mutual_coherence(np.eye(8)[:4]) == pytest.approx(0.0)
+
+    def test_duplicated_column_full_coherence(self):
+        a = np.random.default_rng(0).normal(size=(8, 4))
+        a = np.hstack([a, a[:, :1]])
+        assert mutual_coherence(a) == pytest.approx(1.0)
+
+    def test_gaussian_coherence_reasonable(self):
+        mu = mutual_coherence(gaussian(64, 256, seed=1).phi)
+        assert 0.1 < mu < 0.8
+
+    def test_zero_columns_do_not_crash(self):
+        a = np.zeros((4, 3))
+        a[:, 0] = 1.0
+        assert mutual_coherence(a) == pytest.approx(0.0)
+
+
+class TestRipSpread:
+    def test_orthonormal_rows_bounded_above(self):
+        # A matrix with orthonormal rows is a projection: ||Ax|| <= ||x||.
+        q, _ = np.linalg.qr(np.random.default_rng(1).normal(size=(64, 16)))
+        a = q.T  # 16 x 64, orthonormal rows
+        _, hi = rip_spread(a, 2, n_trials=50, seed=2)
+        assert hi <= 1.0 + 1e-9
+
+    def test_gaussian_spread_brackets_one(self):
+        a = gaussian(48, 128, seed=3).phi
+        lo, hi = rip_spread(a, 4, n_trials=200, seed=4)
+        assert lo < 1.0 < hi
+        assert lo > 0.2
+        assert hi < 2.5
+
+    def test_deterministic_given_seed(self):
+        a = gaussian(32, 64, seed=1).phi
+        assert rip_spread(a, 3, seed=9) == rip_spread(a, 3, seed=9)
+
+    def test_rejects_oversparse(self):
+        a = gaussian(8, 16, seed=1).phi
+        with pytest.raises(ValueError):
+            rip_spread(a, 17)
+
+
+class TestRecoveryRate:
+    def test_high_rate_in_easy_regime(self):
+        a = gaussian(48, 96, seed=5).phi
+        assert recovery_rate(a, sparsity=3, n_trials=30, seed=6) >= 0.9
+
+    def test_low_rate_in_hard_regime(self):
+        a = gaussian(8, 96, seed=5).phi
+        assert recovery_rate(a, sparsity=7, n_trials=30, seed=6) <= 0.5
+
+    def test_noise_degrades_rate(self):
+        a = gaussian(32, 96, seed=5).phi
+        clean = recovery_rate(a, sparsity=4, n_trials=30, seed=7)
+        noisy = recovery_rate(a, sparsity=4, n_trials=30, snr_db=5.0, seed=7)
+        assert noisy <= clean
+
+
+class TestWeightDynamicRange:
+    def test_binary_matrix_has_unit_range(self):
+        mat = srbm_balanced(8, 32, 2, seed=1)
+        assert weight_dynamic_range(mat.phi) == pytest.approx(1.0)
+
+    def test_larger_cap_ratio_flattens_weights(self):
+        mat = srbm_balanced(16, 64, 2, seed=1)
+        ranges = []
+        for ratio in (2.0, 8.0, 32.0):
+            cfg = ChargeSharingConfig(c_sample=1e-15, c_hold=ratio * 1e-15, kt=0.0)
+            enc = ChargeSharingEncoder(mat, cfg, seed=1)
+            ranges.append(weight_dynamic_range(enc.phi_effective))
+        assert ranges[0] > ranges[1] > ranges[2]
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(ValueError):
+            weight_dynamic_range(np.zeros((4, 8)))

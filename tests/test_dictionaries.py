@@ -1,0 +1,128 @@
+"""Tests of the sparsifying dictionaries (DCT, wavelets)."""
+
+import numpy as np
+import pytest
+
+from repro.cs.dictionaries import (
+    WAVELET_FILTERS,
+    dct_basis,
+    identity_basis,
+    make_basis,
+    wavelet_basis,
+)
+
+
+class TestDctBasis:
+    @pytest.mark.parametrize("n", [4, 16, 64, 384])
+    def test_orthonormal(self, n):
+        psi = dct_basis(n)
+        np.testing.assert_allclose(psi.T @ psi, np.eye(n), atol=1e-10)
+
+    def test_first_column_is_dc(self):
+        psi = dct_basis(32)
+        np.testing.assert_allclose(psi[:, 0], np.full(32, 1 / np.sqrt(32)))
+
+    def test_pure_cosine_is_one_sparse(self):
+        n = 64
+        psi = dct_basis(n)
+        t = np.arange(n)
+        k = 5
+        x = np.cos(np.pi * (2 * t + 1) * k / (2 * n))
+        alpha = psi.T @ x
+        dominant = np.argmax(np.abs(alpha))
+        assert dominant == k
+        others = np.delete(np.abs(alpha), dominant)
+        assert np.max(others) < 1e-10 * np.abs(alpha[dominant])
+
+    def test_energy_preservation(self, rng):
+        psi = dct_basis(128)
+        x = rng.normal(size=128)
+        assert np.linalg.norm(psi.T @ x) == pytest.approx(np.linalg.norm(x))
+
+
+class TestWaveletBasis:
+    @pytest.mark.parametrize("wavelet", sorted(WAVELET_FILTERS))
+    def test_orthonormal_all_filters(self, wavelet):
+        psi = wavelet_basis(64, wavelet)
+        np.testing.assert_allclose(psi.T @ psi, np.eye(64), atol=1e-9)
+
+    def test_paper_frame_length(self):
+        psi = wavelet_basis(384, "db4")
+        np.testing.assert_allclose(psi.T @ psi, np.eye(384), atol=1e-9)
+
+    def test_haar_two_sample_analysis(self):
+        psi = wavelet_basis(2, "haar", levels=1)
+        x = np.array([3.0, 1.0])
+        coeffs = psi.T @ x
+        assert coeffs[0] == pytest.approx(4 / np.sqrt(2))  # approximation
+        assert coeffs[1] == pytest.approx(2 / np.sqrt(2))  # detail
+
+    def test_constant_signal_concentrates_in_approximation(self):
+        psi = wavelet_basis(64, "db4", levels=3)
+        alpha = psi.T @ np.ones(64)
+        # All energy must land in the 64/8 = 8 approximation coefficients.
+        assert np.sum(alpha[:8] ** 2) == pytest.approx(64.0, rel=1e-9)
+        assert np.max(np.abs(alpha[8:])) < 1e-9
+
+    def test_levels_limited_by_length(self):
+        with pytest.raises(ValueError, match="levels"):
+            wavelet_basis(32, "db4", levels=5)
+
+    def test_unknown_wavelet(self):
+        with pytest.raises(ValueError, match="unknown wavelet"):
+            wavelet_basis(64, "sym9")
+
+    def test_filters_have_unit_energy(self):
+        for name, h in WAVELET_FILTERS.items():
+            assert np.sum(h**2) == pytest.approx(1.0, abs=1e-9), name
+
+    def test_filters_sum_to_sqrt2(self):
+        # Orthogonal scaling filters satisfy sum(h) = sqrt(2).
+        for name, h in WAVELET_FILTERS.items():
+            assert np.sum(h) == pytest.approx(np.sqrt(2.0), abs=1e-9), name
+
+
+class TestFactory:
+    def test_identity(self):
+        np.testing.assert_array_equal(make_basis("identity", 8), np.eye(8))
+        np.testing.assert_array_equal(identity_basis(8), np.eye(8))
+
+    def test_dct(self):
+        np.testing.assert_array_equal(make_basis("dct", 16), dct_basis(16))
+
+    def test_wavelet_pass_through(self):
+        np.testing.assert_array_equal(
+            make_basis("haar", 16, levels=2), wavelet_basis(16, "haar", levels=2)
+        )
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown basis"):
+            make_basis("fourier", 16)
+
+
+class TestCompressibility:
+    """The property CS reconstruction relies on: EEG-like signals are
+    compressible in these bases."""
+
+    def test_synthetic_eeg_is_dct_compressible(self):
+        from repro.eeg.synthetic import SyntheticEegConfig, generate_background
+        from repro.util.rng import make_rng
+
+        config = SyntheticEegConfig()
+        signal = generate_background(config, make_rng(3))[:384]
+        psi = dct_basis(384)
+        alpha = np.sort(np.abs(psi.T @ signal))[::-1]
+        energy = np.cumsum(alpha**2) / np.sum(alpha**2)
+        # 15 % of coefficients must carry > 95 % of the energy.
+        assert energy[int(0.15 * 384)] > 0.95
+
+    def test_synthetic_eeg_is_db4_compressible(self):
+        from repro.eeg.synthetic import SyntheticEegConfig, generate_background
+        from repro.util.rng import make_rng
+
+        config = SyntheticEegConfig()
+        signal = generate_background(config, make_rng(3))[:384]
+        psi = wavelet_basis(384, "db4")
+        alpha = np.sort(np.abs(psi.T @ signal))[::-1]
+        energy = np.cumsum(alpha**2) / np.sum(alpha**2)
+        assert energy[int(0.15 * 384)] > 0.95

@@ -1,0 +1,98 @@
+"""Tests of the EEG record/dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.eeg.dataset import NON_SEIZURE, SEIZURE, EegDataset, EegRecord
+
+
+def make_record(label=NON_SEIZURE, n=256, rate=100.0, rid="r0"):
+    return EegRecord(
+        data=np.random.default_rng(hash(rid) % 2**32).normal(size=n),
+        sample_rate=rate,
+        label=label,
+        record_id=rid,
+    )
+
+
+def make_dataset(n_records=10, seizure_every=5):
+    records = [
+        make_record(
+            label=SEIZURE if i % seizure_every == 0 else NON_SEIZURE, rid=f"r{i}"
+        )
+        for i in range(n_records)
+    ]
+    return EegDataset(records)
+
+
+class TestEegRecord:
+    def test_duration(self):
+        assert make_record(n=200, rate=100.0).duration == pytest.approx(2.0)
+
+    def test_is_seizure(self):
+        assert make_record(label=SEIZURE).is_seizure
+        assert not make_record(label=NON_SEIZURE).is_seizure
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            make_record(label=2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EegRecord(np.zeros((2, 2)), 100.0, 0, "x")
+
+
+class TestEegDataset:
+    def test_len_iter_getitem(self):
+        ds = make_dataset(10)
+        assert len(ds) == 10
+        assert ds[0].record_id == "r0"
+        assert len(list(ds)) == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EegDataset([])
+
+    def test_rejects_mixed_rates(self):
+        with pytest.raises(ValueError, match="mixed"):
+            EegDataset([make_record(rate=100.0), make_record(rate=200.0, rid="r1")])
+
+    def test_labels_and_fraction(self):
+        ds = make_dataset(10, seizure_every=5)
+        labels = ds.labels()
+        assert labels.sum() == 2
+        assert ds.seizure_fraction() == pytest.approx(0.2)
+
+    def test_subset_preserves_order(self):
+        ds = make_dataset(10)
+        sub = ds.subset([3, 7])
+        assert [r.record_id for r in sub] == ["r3", "r7"]
+
+    def test_split_is_stratified(self):
+        ds = make_dataset(20, seizure_every=4)  # 5 seizures
+        train, test = ds.split(0.6, seed=1)
+        assert len(train) + len(test) == 20
+        assert train.labels().sum() == 3
+        assert test.labels().sum() == 2
+
+    def test_split_deterministic(self):
+        ds = make_dataset(20)
+        a_train, _ = ds.split(0.5, seed=3)
+        b_train, _ = ds.split(0.5, seed=3)
+        assert [r.record_id for r in a_train] == [r.record_id for r in b_train]
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_dataset().split(1.0)
+
+    def test_stacked_shape(self):
+        ds = make_dataset(5)
+        assert ds.stacked().shape == (5, 256)
+
+    def test_stacked_truncation(self):
+        ds = make_dataset(5)
+        assert ds.stacked(100).shape == (5, 100)
+
+    def test_stacked_rejects_too_long(self):
+        with pytest.raises(ValueError):
+            make_dataset(5).stacked(1000)

@@ -1,0 +1,150 @@
+"""Tests of the synthetic Bonn-like EEG generator."""
+
+import numpy as np
+import pytest
+
+from repro.eeg.dataset import NON_SEIZURE, SEIZURE
+from repro.eeg.synthetic import (
+    BONN_DURATION,
+    BONN_SAMPLE_RATE,
+    SyntheticEegConfig,
+    colored_noise,
+    generate_background,
+    generate_record,
+    make_bonn_like_dataset,
+)
+from repro.util.rng import make_rng
+
+
+class TestColoredNoise:
+    def test_unit_variance(self):
+        noise = colored_noise(100_000, 1.7, make_rng(1))
+        assert np.std(noise) == pytest.approx(1.0, rel=0.01)
+
+    def test_spectral_slope(self):
+        noise = colored_noise(2**16, 2.0, make_rng(2))
+        spectrum = np.abs(np.fft.rfft(noise)) ** 2
+        freqs = np.fft.rfftfreq(2**16)
+        lo = spectrum[(freqs > 0.001) & (freqs < 0.01)].mean()
+        hi = spectrum[(freqs > 0.1) & (freqs < 0.4)].mean()
+        # 1/f^2 noise: two decades of frequency -> ~4 decades of power.
+        assert lo / hi > 300
+
+    def test_deterministic(self):
+        a = colored_noise(256, 1.0, make_rng(3))
+        b = colored_noise(256, 1.0, make_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBackground:
+    def test_amplitude_scale(self):
+        config = SyntheticEegConfig()
+        signal = generate_background(config, make_rng(1))
+        assert np.std(signal) == pytest.approx(config.background_rms, rel=0.01)
+
+    def test_zero_mean(self):
+        signal = generate_background(SyntheticEegConfig(), make_rng(1))
+        assert abs(np.mean(signal)) < 1e-9
+
+    def test_length_matches_bonn(self):
+        config = SyntheticEegConfig()
+        assert config.n_samples == int(round(BONN_SAMPLE_RATE * BONN_DURATION))
+        assert generate_background(config, make_rng(1)).size == config.n_samples
+
+    def test_low_frequency_dominated(self):
+        signal = generate_background(SyntheticEegConfig(), make_rng(4))
+        spectrum = np.abs(np.fft.rfft(signal)) ** 2
+        freqs = np.fft.rfftfreq(signal.size, 1 / BONN_SAMPLE_RATE)
+        low = spectrum[(freqs >= 0.5) & (freqs < 30)].sum()
+        high = spectrum[freqs >= 45].sum()
+        assert low > 10 * high
+
+
+class TestGenerateRecord:
+    def test_kinds_and_labels(self):
+        config = SyntheticEegConfig()
+        assert generate_record("background", config, 1, "b").label == NON_SEIZURE
+        assert generate_record("artifact", config, 2, "a").label == NON_SEIZURE
+        assert generate_record("seizure", config, 3, "s").label == SEIZURE
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            generate_record("nap", SyntheticEegConfig(), 1, "x")
+
+    def test_seizure_meta_recorded(self):
+        record = generate_record("seizure", SyntheticEegConfig(), 3, "s")
+        assert "severity" in record.meta
+        assert "frequency" in record.meta
+        lo, hi = SyntheticEegConfig().seizure_frequency_range
+        assert lo <= record.meta["frequency"] <= hi
+
+    def test_seizure_has_more_energy_than_background(self):
+        config = SyntheticEegConfig()
+        seizure = generate_record("seizure", config, 3, "s")
+        background = generate_record("background", config, 3, "b")
+        assert np.std(seizure.data) > np.std(background.data)
+
+    def test_seizure_spectral_peak_in_discharge_band(self):
+        config = SyntheticEegConfig()
+        record = generate_record("seizure", config, 5, "s")
+        spectrum = np.abs(np.fft.rfft(record.data)) ** 2
+        freqs = np.fft.rfftfreq(record.data.size, 1 / config.sample_rate)
+        peak = freqs[1:][np.argmax(spectrum[1:])]
+        assert peak <= 10.0  # discharge fundamental or its low harmonics
+
+    def test_deterministic_per_seed(self):
+        config = SyntheticEegConfig()
+        a = generate_record("seizure", config, 9, "s")
+        b = generate_record("seizure", config, 9, "s")
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestDataset:
+    def test_bonn_layout(self):
+        ds = make_bonn_like_dataset(n_records=50, seed=1)
+        assert len(ds) == 50
+        assert ds.sample_rate == BONN_SAMPLE_RATE
+        assert ds.seizure_fraction() == pytest.approx(0.2)
+
+    def test_custom_fraction(self):
+        ds = make_bonn_like_dataset(n_records=40, seizure_fraction=0.5, seed=1)
+        assert ds.labels().sum() == 20
+
+    def test_deterministic(self):
+        a = make_bonn_like_dataset(n_records=10, seed=7)
+        b = make_bonn_like_dataset(n_records=10, seed=7)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.data, rb.data)
+            assert ra.label == rb.label
+
+    def test_seed_changes_content(self):
+        a = make_bonn_like_dataset(n_records=10, seed=7)
+        b = make_bonn_like_dataset(n_records=10, seed=8)
+        assert any(not np.array_equal(ra.data, rb.data) for ra, rb in zip(a, b))
+
+    def test_contains_artifact_records(self):
+        ds = make_bonn_like_dataset(n_records=100, seed=1)
+        kinds = {record.meta["kind"] for record in ds}
+        assert kinds == {"background", "artifact", "seizure"}
+
+    def test_microvolt_amplitudes(self):
+        ds = make_bonn_like_dataset(n_records=20, seed=1)
+        for record in ds:
+            rms = np.std(record.data)
+            assert 1e-6 < rms < 1e-3  # EEG lives in the uV range
+
+
+class TestConfigValidation:
+    def test_rejects_bad_severity(self):
+        with pytest.raises(ValueError):
+            SyntheticEegConfig(seizure_severity_range=(0.0, 2.0))
+        with pytest.raises(ValueError):
+            SyntheticEegConfig(seizure_severity_range=(2.0, 1.0))
+
+    def test_rejects_bad_frequency_band(self):
+        with pytest.raises(ValueError):
+            SyntheticEegConfig(seizure_frequency_range=(100.0, 90.0))
+
+    def test_rejects_bad_artifact_probability(self):
+        with pytest.raises(ValueError):
+            SyntheticEegConfig(artifact_probability=1.5)

@@ -1,0 +1,82 @@
+"""Cheap real-data tests of the figure-analysis modules.
+
+The benchmarks run these at full sweep size; here the analyses are
+exercised on a miniature real sweep (smoke harness, 6 points) so their
+logic is covered inside the fast test suite too.
+"""
+
+import pytest
+
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.parameters import ParameterSpace
+from repro.experiments.fig7 import analyze_fig7
+from repro.experiments.fig8 import analyze_fig8
+from repro.experiments.fig9 import analyze_fig9
+from repro.experiments.fig10 import analyze_fig10
+from repro.experiments.runner import make_harness
+
+
+@pytest.fixture(scope="module")
+def mini_sweep():
+    harness = make_harness("smoke")
+    space = ParameterSpace(
+        {"use_cs": [False], "lna_noise_rms": [2e-6, 20e-6], "n_bits": [6, 8]}
+    ) | ParameterSpace(
+        {
+            "use_cs": [True],
+            "lna_noise_rms": [8e-6],
+            "n_bits": [8],
+            "cs_m": [75, 150],
+        }
+    )
+    return DesignSpaceExplorer(harness.evaluator).explore(space, name="mini")
+
+
+class TestFig7OnRealData:
+    def test_fronts_nonempty(self, mini_sweep):
+        result = analyze_fig7(mini_sweep, min_accuracy=0.5)
+        assert result.accuracy_front_baseline
+        assert result.accuracy_front_cs
+        assert result.snr_front_baseline
+        assert result.snr_front_cs
+
+    def test_cs_cheapest_point_cheaper_than_baseline(self, mini_sweep):
+        result = analyze_fig7(mini_sweep, min_accuracy=0.5)
+        min_cs = min(e.metric("power_uw") for e in result.cs)
+        min_base = min(e.metric("power_uw") for e in result.baseline)
+        assert min_cs < min_base
+
+    def test_power_saving_positive(self, mini_sweep):
+        result = analyze_fig7(mini_sweep, min_accuracy=0.5)
+        assert result.power_saving is not None
+        assert result.power_saving > 1.0
+
+
+class TestFig8OnRealData:
+    def test_breakdown_extracted(self, mini_sweep):
+        result = analyze_fig8(mini_sweep, min_accuracy=0.5)
+        assert result.delta_uw("transmitter") < 0
+        assert result.delta_uw("cs_encoder") > 0
+        assert "total" in result.savings_table()
+
+
+class TestFig9OnRealData:
+    def test_cs_area_larger(self, mini_sweep):
+        result = analyze_fig9(mini_sweep)
+        assert result.area_ratio() > 2.0
+
+    def test_render(self, mini_sweep):
+        text = analyze_fig9(mini_sweep).render()
+        assert "baseline" in text
+        assert "cs" in text
+
+
+class TestFig10OnRealData:
+    def test_caps_partition_architectures(self, mini_sweep):
+        result = analyze_fig10(mini_sweep, area_caps=(500.0, 5000.0))
+        assert not result.fronts[0].contains_cs()
+        assert result.fronts[1].contains_cs()
+
+    def test_min_power_drops_with_relaxed_cap(self, mini_sweep):
+        result = analyze_fig10(mini_sweep, area_caps=(500.0, 5000.0))
+        assert result.fronts[1].min_power_uw < result.fronts[0].min_power_uw

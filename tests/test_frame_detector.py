@@ -1,0 +1,100 @@
+"""Tests of the raw-waveform frame MLP detector."""
+
+import numpy as np
+import pytest
+
+from repro.detection.frame_detector import FrameMlpDetector
+from repro.detection.mlp import MlpConfig
+from repro.eeg.synthetic import SyntheticEegConfig, generate_record
+from repro.util.rng import derive_seed
+
+FS = 173.61
+
+
+def corpus(n_each=12, seed=0, samples=4 * 384, severity=(1.0, 3.0)):
+    config = SyntheticEegConfig(seizure_severity_range=severity)
+    records, labels = [], []
+    for i in range(n_each):
+        rec = generate_record("seizure", config, derive_seed(seed, f"s{i}"), f"s{i}")
+        records.append(rec.data[:samples])
+        labels.append(1)
+        rec = generate_record("background", config, derive_seed(seed, f"b{i}"), f"b{i}")
+        records.append(rec.data[:samples])
+        labels.append(0)
+    return np.stack(records), np.array(labels)
+
+
+def fast_config():
+    return MlpConfig(hidden_sizes=(32,), n_epochs=15, batch_size=128, early_stop_patience=0)
+
+
+class TestFraming:
+    def test_frame_shape(self):
+        det = FrameMlpDetector(sample_rate=FS, frame_length=128)
+        frames = det._frames(np.zeros((3, 400)))
+        assert frames.shape == (3, 3, 128)
+
+    def test_too_short_rejected(self):
+        det = FrameMlpDetector(sample_rate=FS, frame_length=512)
+        with pytest.raises(ValueError):
+            det._frames(np.zeros((2, 100)))
+
+    def test_1d_rejected(self):
+        det = FrameMlpDetector(sample_rate=FS)
+        with pytest.raises(ValueError):
+            det._frames(np.zeros(1000))
+
+    def test_bad_noise_range_rejected(self):
+        with pytest.raises(ValueError):
+            FrameMlpDetector(sample_rate=FS, augment_noise_range=(1e-6, 1e-7))
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        records, labels = corpus(seed=2)
+        det = FrameMlpDetector(
+            sample_rate=FS,
+            mlp_config=fast_config(),
+            augment_copies=1,
+        )
+        return det.fit(records, labels), records, labels
+
+    def test_learns_training_set(self, fitted):
+        det, records, labels = fitted
+        assert det.accuracy(records, labels) > 0.85
+
+    def test_generalises(self, fitted):
+        det, *_ = fitted
+        fresh_records, fresh_labels = corpus(n_each=8, seed=77)
+        assert det.accuracy(fresh_records, fresh_labels) > 0.7
+
+    def test_probabilities_bounded(self, fitted):
+        det, records, _ = fitted
+        probs = det.predict_proba(records)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_soft_accuracy_bounded(self, fitted):
+        det, records, labels = fitted
+        assert 0.0 <= det.soft_accuracy(records, labels) <= 1.0
+
+    def test_sensitivity_specificity_range(self, fitted):
+        det, records, labels = fitted
+        sens, spec = det.sensitivity_specificity(records, labels)
+        assert 0.0 <= sens <= 1.0
+        assert 0.0 <= spec <= 1.0
+
+    def test_unfitted_raises(self):
+        det = FrameMlpDetector(sample_rate=FS)
+        with pytest.raises(RuntimeError):
+            det.predict(np.zeros((2, 768)))
+
+    def test_deterministic_given_seed(self):
+        records, labels = corpus(n_each=6, seed=5)
+        a = FrameMlpDetector(
+            sample_rate=FS, mlp_config=fast_config(), augment_copies=1, seed=3
+        ).fit(records, labels)
+        b = FrameMlpDetector(
+            sample_rate=FS, mlp_config=fast_config(), augment_copies=1, seed=3
+        ).fit(records, labels)
+        np.testing.assert_array_equal(a.predict_proba(records), b.predict_proba(records))

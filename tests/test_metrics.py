@@ -1,0 +1,120 @@
+"""Tests of the signal-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.sar_adc import ideal_quantize
+from repro.blocks.sources import sine
+from repro.metrics.quality import correlation, nmse, prd
+from repro.metrics.snr import analyze_sine, enob_sine, sndr_sine, snr_vs_reference
+
+
+class TestSnrVsReference:
+    def test_known_snr(self, rng):
+        reference = rng.normal(size=100_000)
+        noisy = reference + 0.1 * rng.normal(size=100_000)
+        # SNR = 20 dB for 10 % noise.
+        assert snr_vs_reference(reference, noisy) == pytest.approx(20.0, abs=0.2)
+
+    def test_gain_invariance(self, rng):
+        reference = rng.normal(size=10_000)
+        noisy = reference + 0.05 * rng.normal(size=10_000)
+        direct = snr_vs_reference(reference, noisy)
+        scaled = snr_vs_reference(reference, 3.7 * noisy)
+        assert scaled == pytest.approx(direct, abs=1e-9)
+
+    def test_perfect_copy_infinite(self, rng):
+        reference = rng.normal(size=100)
+        assert snr_vs_reference(reference, reference.copy()) == np.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            snr_vs_reference(np.zeros(4), np.zeros(5))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            snr_vs_reference(np.zeros(4), np.ones(4))
+
+
+class TestAnalyzeSine:
+    def test_ideal_quantizer_sndr(self):
+        tone = sine(frequency=37.0, amplitude=0.99, sample_rate=4096.0, n_samples=16384)
+        quantized = ideal_quantize(tone.data, n_bits=10, v_fs=2.0)
+        analysis = analyze_sine(quantized)
+        # Ideal 10-bit SNDR = 61.96 dB + small margin for loading.
+        assert analysis.sndr_db == pytest.approx(61.9, abs=2.0)
+        assert analysis.enob == pytest.approx(10.0, abs=0.35)
+
+    def test_fundamental_located(self):
+        n = 4096
+        tone = sine(frequency=64.0, amplitude=1.0, sample_rate=1024.0, n_samples=n)
+        analysis = analyze_sine(tone.data)
+        expected_bin = round(tone.annotations["frequency"] * n / 1024.0)
+        assert analysis.fundamental_bin == expected_bin
+
+    def test_harmonic_distortion_counted_in_thd(self):
+        tone = sine(frequency=37.0, amplitude=1.0, sample_rate=4096.0, n_samples=8192)
+        distorted = tone.data + 0.01 * tone.data**3
+        analysis = analyze_sine(distorted)
+        assert -55 < analysis.thd_db < -35
+
+    def test_snr_excludes_harmonics(self):
+        tone = sine(frequency=37.0, amplitude=1.0, sample_rate=4096.0, n_samples=8192)
+        distorted = tone.data + 0.01 * np.sign(tone.data) * tone.data**2
+        analysis = analyze_sine(distorted)
+        assert analysis.snr_db > analysis.sndr_db
+
+    def test_aliased_harmonics_folded(self):
+        # Fundamental near Nyquist/2: 3rd harmonic aliases but must still
+        # be attributed to distortion, not noise.
+        n = 8192
+        fs = 1000.0
+        tone = sine(frequency=220.0, amplitude=1.0, sample_rate=fs, n_samples=n)
+        distorted = tone.data - 0.02 * tone.data**3
+        analysis = analyze_sine(distorted, n_harmonics=3)
+        assert analysis.thd_db > -60  # visible distortion
+        assert analysis.snr_db > analysis.sndr_db + 3
+
+    def test_flat_spectrum_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_sine(np.zeros(256))
+
+    def test_wrappers(self):
+        tone = sine(frequency=37.0, amplitude=0.99, sample_rate=4096.0, n_samples=8192)
+        quantized = ideal_quantize(tone.data, n_bits=8, v_fs=2.0)
+        assert sndr_sine(quantized) == pytest.approx(analyze_sine(quantized).sndr_db)
+        assert enob_sine(quantized) == pytest.approx(8.0, abs=0.4)
+
+
+class TestQualityMetrics:
+    def test_nmse_zero_for_identity(self, rng):
+        x = rng.normal(size=64)
+        assert nmse(x, x.copy()) == 0.0
+
+    def test_nmse_one_for_zero_estimate(self, rng):
+        x = rng.normal(size=64)
+        assert nmse(x, np.zeros(64)) == pytest.approx(1.0)
+
+    def test_nmse_shape_check(self):
+        with pytest.raises(ValueError):
+            nmse(np.zeros(4), np.zeros(3))
+
+    def test_prd_scale(self, rng):
+        x = rng.normal(size=10_000)
+        estimate = x + 0.09 * rng.normal(size=10_000)
+        assert prd(x, estimate) == pytest.approx(9.0, rel=0.1)
+
+    def test_prd_without_mean_removal(self, rng):
+        x = rng.normal(size=1000) + 10.0
+        with_mean = prd(x, x * 0.99, remove_mean=False)
+        without = prd(x, x * 0.99, remove_mean=True)
+        assert with_mean < without  # DC inflates the denominator
+
+    def test_correlation_bounds(self, rng):
+        x = rng.normal(size=1000)
+        assert correlation(x, x) == pytest.approx(1.0)
+        assert correlation(x, -x) == pytest.approx(-1.0)
+        assert abs(correlation(x, rng.normal(size=1000))) < 0.15
+
+    def test_correlation_of_constant_is_zero(self):
+        assert correlation(np.ones(16), np.arange(16.0)) == 0.0

@@ -1,0 +1,109 @@
+"""Tests of the analytical noise budget, cross-checked against simulation."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.chains import build_baseline_chain
+from repro.blocks.sources import sine
+from repro.core.simulator import Simulator
+from repro.metrics.snr import snr_vs_reference
+from repro.power.noise_budget import NoiseBudget, noise_budget, required_noise_floor
+from repro.power.technology import DesignPoint
+
+
+class TestNoiseBudget:
+    def test_total_is_rss(self):
+        budget = NoiseBudget(3e-6, 4e-6, 0.0, 0.0)
+        assert budget.total == pytest.approx(5e-6)
+
+    def test_fractions_sum_to_one(self, baseline_point):
+        budget = noise_budget(baseline_point)
+        assert sum(budget.fractions().values()) == pytest.approx(1.0)
+
+    def test_dominant_is_lna_at_low_resolution_gain(self):
+        point = DesignPoint(n_bits=8, lna_noise_rms=10e-6)
+        assert noise_budget(point).dominant() == "lna"
+
+    def test_quantization_dominates_at_low_bits_low_noise(self):
+        point = DesignPoint(n_bits=6, lna_noise_rms=1e-6)
+        assert noise_budget(point).dominant() == "quantization"
+
+    def test_quantization_value(self, baseline_point):
+        budget = noise_budget(baseline_point)
+        lsb = 2.0 / 256
+        assert budget.quantization_noise == pytest.approx(lsb / np.sqrt(12) / 1000)
+
+    def test_snr_prediction_formula(self):
+        budget = NoiseBudget(5e-6, 0.0, 0.0, 0.0)
+        assert budget.snr_db(50e-6) == pytest.approx(20.0)
+
+    def test_snr_rejects_bad_signal(self, baseline_point):
+        with pytest.raises(ValueError):
+            noise_budget(baseline_point).snr_db(0.0)
+
+    def test_table_renders(self, baseline_point):
+        text = noise_budget(baseline_point).as_table()
+        assert "quantization" in text
+        assert "total" in text
+
+    def test_cs_uses_hold_cap(self, cs_point):
+        budget = noise_budget(cs_point)
+        expected = cs_point.technology.kt_c_noise_rms(
+            cs_point.cs_hold_capacitance
+        ) / cs_point.lna_gain
+        assert budget.ktc_noise == pytest.approx(expected)
+
+
+class TestAnalyticVsSimulated:
+    """The analytical budget must predict the simulated chain's SNR."""
+
+    @pytest.mark.parametrize("noise_uv", [2.0, 8.0, 20.0])
+    def test_baseline_snr_matches_simulation(self, noise_uv):
+        point = DesignPoint(n_bits=8, lna_noise_rms=noise_uv * 1e-6)
+        amplitude = 0.45 * point.v_fs / point.lna_gain  # near full scale
+        tone = sine(
+            frequency=40.0,
+            amplitude=amplitude,
+            sample_rate=point.f_sample,
+            n_samples=16384,
+        )
+        result = Simulator(build_baseline_chain(point, seed=1), point, seed=2).run(
+            tone, record_taps=False
+        )
+        simulated = snr_vs_reference(tone.data, result.output.data)
+        predicted = noise_budget(point).snr_db(amplitude / np.sqrt(2))
+        assert simulated == pytest.approx(predicted, abs=1.5)
+
+    def test_prediction_monotone_in_noise(self):
+        signal = 50e-6
+        snrs = [
+            noise_budget(DesignPoint(lna_noise_rms=n * 1e-6)).snr_db(signal)
+            for n in (1, 4, 16)
+        ]
+        assert snrs[0] > snrs[1] > snrs[2]
+
+
+class TestRequiredNoiseFloor:
+    def test_inverts_budget(self, baseline_point):
+        signal = 0.7e-3
+        floor = required_noise_floor(baseline_point, signal, target_snr_db=30.0)
+        achieved = noise_budget(
+            baseline_point.with_(lna_noise_rms=floor)
+        ).snr_db(signal)
+        assert achieved == pytest.approx(30.0, abs=0.01)
+
+    def test_infeasible_target_raises(self):
+        point = DesignPoint(n_bits=6)
+        with pytest.raises(ValueError, match="increase n_bits"):
+            required_noise_floor(point, signal_rms=50e-6, target_snr_db=60.0)
+
+    def test_higher_target_needs_lower_floor(self, baseline_point):
+        relaxed = required_noise_floor(baseline_point, 0.7e-3, 20.0)
+        strict = required_noise_floor(baseline_point, 0.7e-3, 35.0)
+        assert strict < relaxed
+
+    def test_validation(self, baseline_point):
+        with pytest.raises(ValueError):
+            required_noise_floor(baseline_point, -1.0, 30.0)
+        with pytest.raises(ValueError):
+            required_noise_floor(baseline_point, 1.0, 0.0)

@@ -1,0 +1,96 @@
+"""Tests of ParameterSpace / CompositeSpace."""
+
+import pytest
+
+from repro.core.parameters import CompositeSpace, ParameterSpace
+from repro.power.technology import DesignPoint
+
+
+class TestParameterSpace:
+    def test_size_is_product(self):
+        space = ParameterSpace({"n_bits": [6, 7, 8], "lna_noise_rms": [1e-6, 2e-6]})
+        assert space.size == 6
+
+    def test_grid_yields_design_points(self):
+        space = ParameterSpace({"n_bits": [6, 8]})
+        points = list(space.grid())
+        assert [p.n_bits for p in points] == [6, 8]
+        assert all(isinstance(p, DesignPoint) for p in points)
+
+    def test_grid_respects_base(self):
+        base = DesignPoint(lna_noise_rms=9e-6)
+        space = ParameterSpace({"n_bits": [6]})
+        point = next(space.grid(base))
+        assert point.lna_noise_rms == 9e-6
+        assert point.n_bits == 6
+
+    def test_invalid_combinations_skipped(self):
+        # cs_m >= cs_n_phi is invalid for CS points and must be skipped.
+        space = ParameterSpace({"use_cs": [True], "cs_m": [75, 384]})
+        points = list(space.grid(DesignPoint(cs_n_phi=384)))
+        assert [p.cs_m for p in points] == [75]
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError, match="sweepable"):
+            ParameterSpace({"flux_capacitance": [1]})
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            ParameterSpace({"n_bits": []})
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            ParameterSpace({})
+
+    def test_axes_returns_copy(self):
+        space = ParameterSpace({"n_bits": [6]})
+        space.axes["n_bits"].append(99)
+        assert space.axes["n_bits"] == [6]
+
+    def test_random_subset(self):
+        space = ParameterSpace({"n_bits": [6, 7, 8], "lna_noise_rms": [1e-6, 2e-6, 4e-6]})
+        picks = space.random(4, seed=1)
+        assert len(picks) == 4
+        assert len({p.describe() for p in picks}) == 4
+
+    def test_random_returns_all_when_n_large(self):
+        space = ParameterSpace({"n_bits": [6, 7]})
+        assert len(space.random(100, seed=1)) == 2
+
+    def test_random_deterministic(self):
+        space = ParameterSpace({"n_bits": [6, 7, 8], "lna_noise_rms": [1e-6, 2e-6, 4e-6]})
+        a = [p.describe() for p in space.random(3, seed=2)]
+        b = [p.describe() for p in space.random(3, seed=2)]
+        assert a == b
+
+    def test_repr_mentions_size(self):
+        assert "6 points" in repr(
+            ParameterSpace({"n_bits": [6, 7, 8], "lna_noise_rms": [1e-6, 2e-6]})
+        )
+
+
+class TestCompositeSpace:
+    def test_union_chains_grids(self):
+        baseline = ParameterSpace({"use_cs": [False], "n_bits": [6, 8]})
+        cs = ParameterSpace({"use_cs": [True], "n_bits": [8], "cs_m": [75, 150]})
+        union = baseline | cs
+        points = list(union.grid())
+        assert len(points) == 4
+        assert sum(p.use_cs for p in points) == 2
+
+    def test_size(self):
+        a = ParameterSpace({"n_bits": [6, 7]})
+        b = ParameterSpace({"n_bits": [8]})
+        assert (a | b).size == 3
+
+    def test_nested_union(self):
+        a = ParameterSpace({"n_bits": [6]})
+        b = ParameterSpace({"n_bits": [7]})
+        c = ParameterSpace({"n_bits": [8]})
+        union = (a | b) | c
+        assert union.size == 3
+        assert len(union.spaces) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeSpace([])

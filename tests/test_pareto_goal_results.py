@@ -1,0 +1,205 @@
+"""Tests of Pareto extraction, goal functions and result containers."""
+
+import pytest
+
+from repro.core.goal import (
+    Goal,
+    WeightedGoal,
+    accuracy_power_goal,
+    area_constrained_goal,
+    snr_power_goal,
+)
+from repro.core.pareto import Objective, best_feasible, dominates, pareto_front
+from repro.core.results import Evaluation, ExplorationResult
+from repro.power.technology import DesignPoint
+
+
+def ev(power, quality, use_cs=False, area=100.0):
+    return Evaluation(
+        point=DesignPoint(use_cs=use_cs),
+        metrics={"power_uw": power, "accuracy": quality, "snr_db": quality, "area_units": area},
+    )
+
+
+OBJ = (Objective("power_uw", maximize=False), Objective("accuracy", maximize=True))
+
+
+class TestDominates:
+    def test_strictly_better_both(self):
+        assert dominates({"power_uw": 1, "accuracy": 0.9}, {"power_uw": 2, "accuracy": 0.8}, OBJ)
+
+    def test_equal_does_not_dominate(self):
+        a = {"power_uw": 1, "accuracy": 0.9}
+        assert not dominates(a, dict(a), OBJ)
+
+    def test_tradeoff_does_not_dominate(self):
+        a = {"power_uw": 1, "accuracy": 0.8}
+        b = {"power_uw": 2, "accuracy": 0.9}
+        assert not dominates(a, b, OBJ)
+        assert not dominates(b, a, OBJ)
+
+    def test_better_on_one_equal_other(self):
+        a = {"power_uw": 1, "accuracy": 0.9}
+        b = {"power_uw": 2, "accuracy": 0.9}
+        assert dominates(a, b, OBJ)
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            dominates({}, {}, ())
+
+
+class TestParetoFront:
+    def test_extracts_non_dominated(self):
+        evals = [ev(1, 0.8), ev(2, 0.9), ev(3, 0.85), ev(1.5, 0.95)]
+        front = pareto_front(evals, OBJ)
+        powers = [e.metrics["power_uw"] for e in front]
+        assert powers == [1.0, 1.5]
+
+    def test_single_point_is_front(self):
+        assert len(pareto_front([ev(1, 0.5)], OBJ)) == 1
+
+    def test_constraint_filters_first(self):
+        evals = [ev(1, 0.8, area=1000), ev(2, 0.7, area=10)]
+        front = pareto_front(evals, OBJ, constraint=lambda m: m["area_units"] < 100)
+        assert len(front) == 1
+        assert front[0].metrics["power_uw"] == 2
+
+    def test_duplicates_survive(self):
+        evals = [ev(1, 0.9), ev(1, 0.9)]
+        assert len(pareto_front(evals, OBJ)) == 2
+
+    def test_sorted_by_primary(self):
+        evals = [ev(3, 0.99), ev(1, 0.8), ev(2, 0.9)]
+        front = pareto_front(evals, OBJ)
+        powers = [e.metrics["power_uw"] for e in front]
+        assert powers == sorted(powers)
+
+
+class TestBestFeasible:
+    def test_minimum_power_meeting_constraint(self):
+        evals = [ev(1, 0.7), ev(2, 0.99), ev(5, 0.999)]
+        best = best_feasible(evals, "power_uw", constraint=lambda m: m["accuracy"] >= 0.98)
+        assert best.metrics["power_uw"] == 2
+
+    def test_none_when_infeasible(self):
+        evals = [ev(1, 0.5)]
+        assert best_feasible(evals, "power_uw", constraint=lambda m: m["accuracy"] > 0.9) is None
+
+    def test_no_constraint_returns_global_min(self):
+        evals = [ev(3, 0.1), ev(1, 0.0)]
+        assert best_feasible(evals, "power_uw").metrics["power_uw"] == 1
+
+
+class TestGoals:
+    def test_snr_goal_objectives(self):
+        goal = snr_power_goal()
+        assert {o.metric for o in goal.objectives} == {"power_uw", "snr_db"}
+        assert goal.constraint is None
+
+    def test_accuracy_goal_constraint(self):
+        goal = accuracy_power_goal(0.98)
+        assert goal.constraint({"accuracy": 0.985})
+        assert not goal.constraint({"accuracy": 0.975})
+
+    def test_accuracy_goal_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_power_goal(0.0)
+
+    def test_area_goal_combines_constraints(self):
+        goal = area_constrained_goal(500.0, min_accuracy=0.9)
+        assert goal.constraint({"accuracy": 0.95, "area_units": 400})
+        assert not goal.constraint({"accuracy": 0.95, "area_units": 600})
+        assert not goal.constraint({"accuracy": 0.85, "area_units": 400})
+
+    def test_area_goal_validation(self):
+        with pytest.raises(ValueError):
+            area_constrained_goal(0.0)
+
+    def test_goal_requires_objectives(self):
+        with pytest.raises(ValueError):
+            Goal(name="empty", objectives=())
+
+    def test_weighted_goal_score(self):
+        goal = WeightedGoal({"accuracy": 1.0, "power_uw": -0.1})
+        assert goal.score({"accuracy": 0.9, "power_uw": 2.0}) == pytest.approx(0.7)
+
+    def test_weighted_goal_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedGoal().score({})
+
+
+class TestEvaluation:
+    def test_metric_accessor(self):
+        evaluation = ev(1.0, 0.9)
+        assert evaluation.metric("power_uw") == 1.0
+        with pytest.raises(KeyError, match="available"):
+            evaluation.metric("zz")
+
+    def test_summary_contains_metrics(self):
+        text = ev(1.0, 0.9).summary()
+        assert "power_uw" in text
+        assert "baseline" in text
+
+
+class TestExplorationResult:
+    def make_result(self):
+        return ExplorationResult(
+            [ev(1, 0.8), ev(2, 0.99, use_cs=True), ev(3, 0.7)], name="test"
+        )
+
+    def test_len_iter_getitem(self):
+        result = self.make_result()
+        assert len(result) == 3
+        assert result[0].metrics["power_uw"] == 1
+        assert len(list(result)) == 3
+
+    def test_split_by_architecture(self):
+        baseline, cs = self.make_result().split_by_architecture()
+        assert len(baseline) == 2
+        assert len(cs) == 1
+
+    def test_values(self):
+        assert self.make_result().values("power_uw") == [1, 2, 3]
+
+    def test_pareto_delegates(self):
+        front = self.make_result().pareto(OBJ)
+        assert [e.metrics["power_uw"] for e in front] == [1, 2]
+
+    def test_best_with_constraint(self):
+        best = self.make_result().best(constraint=lambda m: m["accuracy"] > 0.9)
+        assert best.metrics["power_uw"] == 2
+
+    def test_filter(self):
+        filtered = self.make_result().filter(lambda e: e.metrics["power_uw"] < 2.5)
+        assert len(filtered) == 2
+
+    def test_as_table(self):
+        table = self.make_result().as_table(["power_uw", "accuracy"])
+        assert "power_uw" in table
+        assert table.count("\n") == 3
+
+    def test_to_dicts(self):
+        dicts = self.make_result().to_dicts()
+        assert len(dicts) == 3
+        assert "point" in dicts[0]
+        assert dicts[0]["power_uw"] == 1
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self, tmp_path):
+        result = ExplorationResult([ev(1, 0.8), ev(2, 0.9, use_cs=True)])
+        path = tmp_path / "sweep.csv"
+        result.to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        header = lines[0].split(",")
+        assert header[0] == "point"
+        assert "power_uw" in header
+        assert "accuracy" in header
+
+    def test_to_csv_selected_metrics(self, tmp_path):
+        result = ExplorationResult([ev(1, 0.8)])
+        path = tmp_path / "sweep.csv"
+        result.to_csv(str(path), metrics=["power_uw"])
+        header = path.read_text().splitlines()[0]
+        assert header == "point,power_uw"

@@ -1,0 +1,84 @@
+"""Extra coverage of the experiment runner and harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    F_SAMPLE,
+    SCALES,
+    ExperimentScale,
+    _shrink,
+    make_harness,
+    run_search_space,
+)
+from repro.cs.dictionaries import dct_basis
+
+
+class TestShrink:
+    def test_keeps_requested_fraction(self, rng):
+        records = rng.normal(size=(2, 2 * 384))
+        psi = dct_basis(384)
+        out = _shrink(records, 0.1, psi)
+        frames = out.reshape(2, -1, 384) @ psi
+        k = int(0.1 * 384)
+        for record in frames.reshape(-1, 384):
+            # Threshold above float64 matmul round-off (~1e-13 absolute).
+            floor = 1e-9 * np.max(np.abs(record))
+            assert np.count_nonzero(np.abs(record) > floor) <= k + 1
+
+    def test_preserves_energy_mostly(self, rng):
+        # Compressible content survives shrinkage nearly intact.
+        t = np.arange(2 * 384) / F_SAMPLE
+        records = np.sin(2 * np.pi * 10 * t)[None, :]
+        out = _shrink(records, 0.1, dct_basis(384))
+        assert np.linalg.norm(out) > 0.95 * np.linalg.norm(records)
+
+
+class TestScalesConsistency:
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_samples_are_whole_frames(self, name):
+        scale = SCALES[name]
+        assert scale.samples_per_record == scale.frames_per_record * 384
+
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_record_fits_source_duration(self, name):
+        # Truncated records must fit inside the 23.6 s source records
+        # after resampling to f_sample.
+        scale = SCALES[name]
+        available = int(23.6 * 173.61 * F_SAMPLE / 173.61)
+        assert scale.samples_per_record <= available
+
+    def test_scales_strictly_ordered_in_size(self):
+        smoke, small, paper = SCALES["smoke"], SCALES["small"], SCALES["paper"]
+        assert smoke.n_eval_records < small.n_eval_records < paper.n_eval_records
+        assert smoke.samples_per_record < small.samples_per_record <= paper.samples_per_record
+
+    def test_custom_scale_dataclass(self):
+        scale = ExperimentScale(
+            name="tiny",
+            n_eval_records=4,
+            n_train_records=4,
+            frames_per_record=2,
+            noise_values_uv=(5.0,),
+            n_bits_values=(8,),
+            cs_m_values=(150,),
+            fista_iters=20,
+        )
+        assert scale.samples_per_record == 768
+
+
+class TestSweepCaching:
+    def test_sweep_cached_per_scale(self):
+        first = run_search_space("smoke")
+        second = run_search_space("smoke")
+        assert first is second
+
+    def test_harness_and_sweep_consistent(self):
+        harness = make_harness("smoke")
+        sweep = run_search_space("smoke")
+        # Sweep point count = baseline grid + CS grid of the smoke scale.
+        scale = harness.scale
+        expected = len(scale.noise_values_uv) * len(scale.n_bits_values) * (
+            1 + len(scale.cs_m_values)
+        )
+        assert len(sweep) == expected

@@ -1,0 +1,90 @@
+"""Tests of the sample-and-hold model."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.sample_hold import SampleHold
+from repro.blocks.sources import sine
+from repro.core.block import SimulationContext
+from repro.core.signal import Signal
+
+
+def run_block(block, signal, seed=0):
+    return block.process(signal, SimulationContext(seed=seed))
+
+
+class TestKtcNoise:
+    def test_noise_rms_matches_capacitance(self):
+        sh = SampleHold(capacitance=1e-12)
+        out = run_block(sh, Signal(np.zeros(200_000), 1000.0))
+        assert np.std(out.data) == pytest.approx(sh.noise_rms, rel=0.02)
+
+    def test_larger_cap_less_noise(self):
+        small = SampleHold(capacitance=1e-15)
+        large = SampleHold(capacitance=1e-12)
+        assert large.noise_rms < small.noise_rms
+
+    def test_zero_kt_no_noise(self):
+        sh = SampleHold(capacitance=1e-15, kt=0.0)
+        sig = Signal(np.ones(16), 1000.0)
+        np.testing.assert_array_equal(run_block(sh, sig).data, sig.data)
+
+
+class TestDroop:
+    def test_droop_shrinks_toward_zero(self):
+        sh = SampleHold(capacitance=1e-12, kt=0.0, droop_rate=10.0)  # 10 V/s
+        sig = Signal(np.array([1.0, -1.0]), 100.0)  # hold 10 ms -> 0.1 V droop
+        out = run_block(sh, sig)
+        np.testing.assert_allclose(out.data, [0.9, -0.9])
+
+    def test_droop_never_crosses_zero(self):
+        sh = SampleHold(capacitance=1e-12, kt=0.0, droop_rate=1e6)
+        out = run_block(sh, Signal(np.array([0.5, -0.5]), 100.0))
+        np.testing.assert_allclose(out.data, [0.0, 0.0])
+
+    def test_explicit_hold_time(self):
+        sh = SampleHold(capacitance=1e-12, kt=0.0, droop_rate=1.0, hold_time=0.5)
+        out = run_block(sh, Signal(np.array([2.0]), 100.0))
+        assert out.data[0] == pytest.approx(1.5)
+
+
+class TestAperture:
+    def test_jitter_adds_slope_proportional_noise(self):
+        sh = SampleHold(capacitance=1.0, kt=0.0, aperture_jitter=1e-5)
+        fast = sine(frequency=400.0, amplitude=1.0, sample_rate=4000.0, n_samples=8192)
+        slow = sine(frequency=10.0, amplitude=1.0, sample_rate=4000.0, n_samples=8192)
+        err_fast = np.std(run_block(sh, fast).data - fast.data)
+        err_slow = np.std(run_block(sh, slow).data - slow.data)
+        assert err_fast > 5 * err_slow
+
+    def test_no_jitter_identity(self):
+        sh = SampleHold(capacitance=1.0, kt=0.0)
+        tone = sine(frequency=10.0, amplitude=1.0, sample_rate=1000.0, n_samples=256)
+        np.testing.assert_array_equal(run_block(sh, tone).data, tone.data)
+
+
+class TestFromDesign:
+    def test_cap_from_design_rule(self, baseline_point):
+        sh = SampleHold.from_design(baseline_point)
+        assert sh.capacitance == pytest.approx(baseline_point.sampling_capacitance)
+
+    def test_droop_disabled_by_default(self, baseline_point):
+        assert SampleHold.from_design(baseline_point).droop_rate == 0.0
+
+    def test_droop_opt_in(self, baseline_point):
+        sh = SampleHold.from_design(baseline_point, include_droop=True)
+        expected = baseline_point.technology.i_leak / baseline_point.sampling_capacitance
+        assert sh.droop_rate == pytest.approx(expected)
+
+    def test_power_reports_sh_row(self, baseline_point):
+        from repro.power.models import sample_hold_power
+
+        sh = SampleHold.from_design(baseline_point)
+        assert sh.power(baseline_point) == {
+            "sample_hold": sample_hold_power(baseline_point)
+        }
+
+    def test_rejects_2d_input(self, baseline_point):
+        sh = SampleHold.from_design(baseline_point)
+        with pytest.raises(ValueError):
+            run_block(sh, Signal(np.zeros((2, 3)), 100.0))

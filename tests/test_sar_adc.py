@@ -1,0 +1,142 @@
+"""Tests of the SAR ADC model."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.sar_adc import SarAdc, ideal_quantize
+from repro.blocks.sources import sine
+from repro.core.block import SimulationContext
+from repro.core.signal import Signal
+from repro.metrics.snr import analyze_sine
+from repro.util.rng import make_rng
+
+
+def run_block(block, signal, seed=0):
+    return block.process(signal, SimulationContext(seed=seed))
+
+
+class TestIdealQuantize:
+    def test_quantization_step(self):
+        out = ideal_quantize(np.array([0.0]), n_bits=8, v_fs=2.0)
+        lsb = 2.0 / 256
+        # Mid-tread reconstruction sits on a half-LSB grid.
+        assert abs(out[0]) <= lsb
+
+    def test_clipping_at_rails(self):
+        out = ideal_quantize(np.array([10.0, -10.0]), n_bits=4, v_fs=2.0)
+        assert out[0] <= 1.0
+        assert out[1] >= -1.0
+
+    def test_error_bounded_by_lsb(self, rng):
+        data = rng.uniform(-0.9, 0.9, size=1000)
+        out = ideal_quantize(data, n_bits=8, v_fs=2.0)
+        assert np.max(np.abs(out - data)) <= 2.0 / 256
+
+    def test_more_bits_less_error(self, rng):
+        data = rng.uniform(-0.9, 0.9, size=1000)
+        err6 = np.std(ideal_quantize(data, 6, 2.0) - data)
+        err10 = np.std(ideal_quantize(data, 10, 2.0) - data)
+        assert err10 < err6 / 10
+
+
+class TestIdealSar:
+    def test_matches_ideal_quantizer(self, rng):
+        adc = SarAdc(n_bits=8, v_fs=2.0)
+        data = rng.uniform(-0.99, 0.99, size=2000)
+        converted = adc.convert(data, make_rng(0))
+        reference = ideal_quantize(data, 8, 2.0)
+        np.testing.assert_allclose(converted, reference, atol=2.0 / 256 + 1e-12)
+
+    def test_quantization_error_below_lsb(self, rng):
+        adc = SarAdc(n_bits=8, v_fs=2.0)
+        data = rng.uniform(-0.99, 0.99, size=500)
+        out = adc.convert(data, make_rng(0))
+        assert np.max(np.abs(out - data)) <= 2.0 / 256
+
+    def test_sndr_near_ideal_8bit(self):
+        adc = SarAdc(n_bits=8, v_fs=2.0)
+        tone = sine(frequency=41.0, amplitude=0.99, sample_rate=4096.0, n_samples=8192)
+        out = run_block(adc, tone)
+        analysis = analyze_sine(out.data)
+        assert analysis.sndr_db == pytest.approx(49.9, abs=2.5)
+
+    def test_preserves_shape(self):
+        adc = SarAdc(n_bits=6)
+        out = adc.convert(np.zeros((3, 5)), make_rng(0))
+        assert out.shape == (3, 5)
+
+    def test_saturation(self):
+        adc = SarAdc(n_bits=8, v_fs=2.0)
+        out = adc.convert(np.array([5.0, -5.0]), make_rng(0))
+        assert out[0] <= 1.0
+        assert out[1] >= -1.0
+
+    def test_codes_range(self, rng):
+        adc = SarAdc(n_bits=6, v_fs=2.0)
+        codes = adc.codes(rng.uniform(-2, 2, size=300))
+        assert codes.min() >= 0
+        assert codes.max() <= 63
+
+    def test_domain_marked_digital(self):
+        adc = SarAdc(n_bits=8)
+        out = run_block(adc, Signal(np.zeros(8), 1000.0))
+        assert out.domain == "digital"
+        assert out.annotations["adc_bits"] == 8
+
+
+class TestComparatorNoise:
+    def test_noise_degrades_sndr(self):
+        tone = sine(frequency=41.0, amplitude=0.99, sample_rate=4096.0, n_samples=8192)
+        clean = analyze_sine(run_block(SarAdc(n_bits=8), tone).data).sndr_db
+        noisy_adc = SarAdc(n_bits=8, comparator_noise_rms=0.05)
+        noisy = analyze_sine(run_block(noisy_adc, tone).data).sndr_db
+        assert noisy < clean - 6
+
+    def test_noise_reproducible(self):
+        adc = SarAdc(n_bits=8, comparator_noise_rms=0.01)
+        sig = Signal(np.linspace(-0.5, 0.5, 64), 1000.0)
+        a = run_block(adc, sig, seed=5).data
+        b = run_block(adc, sig, seed=5).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDacMismatch:
+    def test_mismatch_creates_static_inl(self):
+        ideal = SarAdc(n_bits=8)
+        skewed = SarAdc(n_bits=8, dac_mismatch_sigma=0.05, mismatch_seed=3)
+        ramp = np.linspace(-0.99, 0.99, 4000)
+        out_ideal = ideal.convert(ramp, make_rng(0))
+        out_skewed = skewed.convert(ramp, make_rng(0))
+        assert np.max(np.abs(out_skewed - out_ideal)) > 2.0 / 256
+
+    def test_mismatch_instance_reproducible(self):
+        a = SarAdc(n_bits=8, dac_mismatch_sigma=0.02, mismatch_seed=3)
+        b = SarAdc(n_bits=8, dac_mismatch_sigma=0.02, mismatch_seed=3)
+        ramp = np.linspace(-0.9, 0.9, 100)
+        np.testing.assert_array_equal(a.convert(ramp, make_rng(0)), b.convert(ramp, make_rng(0)))
+
+    def test_distinct_instances_differ(self):
+        a = SarAdc(n_bits=8, dac_mismatch_sigma=0.05, mismatch_seed=3)
+        b = SarAdc(n_bits=8, dac_mismatch_sigma=0.05, mismatch_seed=4)
+        ramp = np.linspace(-0.9, 0.9, 400)
+        assert not np.array_equal(a.convert(ramp, make_rng(0)), b.convert(ramp, make_rng(0)))
+
+    def test_static_transfer_monotone_count(self):
+        adc = SarAdc(n_bits=6, dac_mismatch_sigma=0.01, mismatch_seed=1)
+        thresholds = adc.static_transfer()
+        assert thresholds.size == 2**6 - 1
+        assert np.all(np.diff(thresholds) >= -1e-12)  # sorted by construction
+
+
+class TestFromDesign:
+    def test_wires_resolution_and_noise(self, baseline_point):
+        adc = SarAdc.from_design(baseline_point, seed=1)
+        assert adc.n_bits == baseline_point.n_bits
+        assert adc.v_fs == baseline_point.v_fs
+        assert adc.comparator_noise_rms == pytest.approx(adc.lsb / 4)
+
+    def test_power_rows(self, baseline_point):
+        adc = SarAdc.from_design(baseline_point, seed=1)
+        rows = adc.power(baseline_point)
+        assert set(rows) == {"comparator", "sar_logic", "dac", "leakage"}
+        assert all(v >= 0 for v in rows.values())

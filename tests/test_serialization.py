@@ -1,0 +1,114 @@
+"""Tests of sweep persistence (JSON round-trips)."""
+
+import json
+
+import pytest
+
+from repro.core.results import Evaluation, ExplorationResult
+from repro.core.serialization import (
+    design_point_from_dict,
+    design_point_to_dict,
+    evaluation_from_dict,
+    evaluation_to_dict,
+    load_result,
+    save_result,
+)
+from repro.power.technology import DesignPoint, Technology
+
+
+class TestDesignPointRoundTrip:
+    def test_default_point(self):
+        point = DesignPoint()
+        assert design_point_from_dict(design_point_to_dict(point)) == point
+
+    def test_cs_point_with_custom_fields(self):
+        point = DesignPoint(
+            n_bits=7,
+            lna_noise_rms=3.3e-6,
+            use_cs=True,
+            cs_architecture="digital",
+            cs_m=99,
+            cs_n_phi=384,
+            cs_cap_ratio=12.5,
+        )
+        assert design_point_from_dict(design_point_to_dict(point)) == point
+
+    def test_custom_technology_round_trips(self):
+        tech = Technology(nef=3.5, e_bit=2e-9, unit_cap_mismatch_sigma=0.02)
+        point = DesignPoint(technology=tech)
+        restored = design_point_from_dict(design_point_to_dict(point))
+        assert restored.technology == tech
+
+    def test_derived_properties_preserved(self):
+        point = DesignPoint(bw_in=128.0, sampling_ratio=2.5)
+        restored = design_point_from_dict(design_point_to_dict(point))
+        assert restored.f_sample == point.f_sample
+        assert restored.f_clk == point.f_clk
+
+
+class TestEvaluationRoundTrip:
+    def test_full_round_trip(self):
+        evaluation = Evaluation(
+            point=DesignPoint(use_cs=True, cs_m=150),
+            metrics={"power_uw": 2.5, "accuracy": 0.99},
+            breakdown={"lna": 1e-6, "transmitter": 1.5e-6},
+        )
+        restored = evaluation_from_dict(evaluation_to_dict(evaluation))
+        assert restored.point == evaluation.point
+        assert restored.metrics == evaluation.metrics
+        assert restored.breakdown == evaluation.breakdown
+
+    def test_missing_breakdown_tolerated(self):
+        payload = evaluation_to_dict(
+            Evaluation(point=DesignPoint(), metrics={"power_uw": 1.0})
+        )
+        del payload["breakdown"]
+        assert evaluation_from_dict(payload).breakdown == {}
+
+
+class TestResultFiles:
+    def make_result(self):
+        return ExplorationResult(
+            [
+                Evaluation(DesignPoint(), {"power_uw": 8.3, "accuracy": 0.99}),
+                Evaluation(
+                    DesignPoint(use_cs=True, cs_m=150),
+                    {"power_uw": 2.5, "accuracy": 0.994},
+                ),
+            ],
+            name="fig7-test",
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        original = self.make_result()
+        save_result(original, path)
+        restored = load_result(path)
+        assert restored.name == "fig7-test"
+        assert len(restored) == 2
+        assert restored[1].point.use_cs
+        assert restored[1].metrics["accuracy"] == pytest.approx(0.994)
+
+    def test_restored_result_supports_analysis(self, tmp_path):
+        from repro.experiments.fig7 import analyze_fig7
+
+        path = tmp_path / "sweep.json"
+        save_result(self.make_result(), path)
+        fig7 = analyze_fig7(load_result(path), min_accuracy=0.98)
+        assert fig7.power_saving == pytest.approx(8.3 / 2.5)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_result(self.make_result(), path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_result(path)
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_result(self.make_result(), path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["evaluations"]) == 2

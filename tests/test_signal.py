@@ -1,0 +1,76 @@
+"""Tests of the Signal container."""
+
+import numpy as np
+import pytest
+
+from repro.core.signal import DOMAINS, Signal
+
+
+class TestConstruction:
+    def test_coerces_to_float64(self):
+        signal = Signal(data=[1, 2, 3], sample_rate=100.0)
+        assert signal.data.dtype == np.float64
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError, match="domain"):
+            Signal(data=np.zeros(4), sample_rate=100.0, domain="quantum")
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Signal(data=np.zeros(4), sample_rate=0.0)
+
+    def test_all_domains_accepted(self):
+        for domain in DOMAINS:
+            assert Signal(np.zeros(2), 1.0, domain=domain).domain == domain
+
+
+class TestProperties:
+    def test_n_samples_counts_all_elements(self):
+        assert Signal(np.zeros((3, 4)), 1.0).n_samples == 12
+
+    def test_duration(self):
+        assert Signal(np.zeros(100), 50.0).duration == pytest.approx(2.0)
+
+    def test_rms(self):
+        signal = Signal(np.array([3.0, -3.0, 3.0, -3.0]), 1.0)
+        assert signal.rms() == pytest.approx(3.0)
+
+    def test_peak(self):
+        assert Signal(np.array([1.0, -5.0, 2.0]), 1.0).peak() == 5.0
+
+    def test_time_axis(self):
+        t = Signal(np.zeros(4), 2.0).time_axis()
+        np.testing.assert_allclose(t, [0.0, 0.5, 1.0, 1.5])
+
+    def test_time_axis_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Signal(np.zeros((2, 2)), 1.0).time_axis()
+
+
+class TestReplaced:
+    def test_merges_annotations(self):
+        base = Signal(np.zeros(4), 1.0, annotations={"a": 1})
+        out = base.replaced(b=2)
+        assert out.annotations == {"a": 1, "b": 2}
+
+    def test_overwrites_annotation(self):
+        base = Signal(np.zeros(4), 1.0, annotations={"a": 1})
+        assert base.replaced(a=3).annotations["a"] == 3
+
+    def test_keeps_fields_by_default(self):
+        base = Signal(np.zeros(4), 5.0, domain="digital")
+        out = base.replaced(data=np.ones(4))
+        assert out.sample_rate == 5.0
+        assert out.domain == "digital"
+
+    def test_does_not_mutate_original(self):
+        base = Signal(np.zeros(4), 1.0, annotations={"a": 1})
+        base.replaced(data=np.ones(4), a=9)
+        assert base.annotations == {"a": 1}
+        assert np.all(base.data == 0)
+
+    def test_changes_rate_and_domain(self):
+        base = Signal(np.zeros(4), 1.0)
+        out = base.replaced(sample_rate=2.0, domain="compressed")
+        assert out.sample_rate == 2.0
+        assert out.domain == "compressed"

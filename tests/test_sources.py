@@ -1,0 +1,73 @@
+"""Tests of the signal sources."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.sources import from_array, multitone, sine
+from repro.metrics.snr import analyze_sine
+
+
+class TestSine:
+    def test_amplitude_and_length(self):
+        signal = sine(frequency=50.0, amplitude=0.5, sample_rate=1000.0, n_samples=1000)
+        assert signal.data.size == 1000
+        assert signal.peak() == pytest.approx(0.5, rel=1e-3)
+
+    def test_duration_alternative(self):
+        signal = sine(frequency=50.0, amplitude=1.0, sample_rate=1000.0, duration=0.5)
+        assert signal.data.size == 500
+
+    def test_requires_exactly_one_length_spec(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            sine(frequency=1.0, amplitude=1.0, sample_rate=10.0)
+        with pytest.raises(ValueError, match="exactly one"):
+            sine(frequency=1.0, amplitude=1.0, sample_rate=10.0, duration=1.0, n_samples=10)
+
+    def test_coherent_snapping(self):
+        signal = sine(frequency=49.7, amplitude=1.0, sample_rate=1000.0, n_samples=1000)
+        snapped = signal.annotations["frequency"]
+        cycles = snapped * 1000 / 1000.0
+        assert cycles == pytest.approx(round(cycles))
+
+    def test_coherent_sine_has_clean_spectrum(self):
+        signal = sine(frequency=41.0, amplitude=1.0, sample_rate=1000.0, n_samples=2048)
+        analysis = analyze_sine(signal.data)
+        assert analysis.sndr_db > 100  # numerically pure tone
+
+    def test_nyquist_rejected(self):
+        with pytest.raises(ValueError, match="Nyquist"):
+            sine(frequency=500.0, amplitude=1.0, sample_rate=1000.0, n_samples=100)
+
+    def test_dc_offset(self):
+        signal = sine(
+            frequency=10.0, amplitude=0.1, sample_rate=1000.0, n_samples=1000, dc_offset=2.0
+        )
+        assert np.mean(signal.data) == pytest.approx(2.0, abs=1e-3)
+
+
+class TestMultitone:
+    def test_contains_requested_tones(self):
+        signal = multitone([50.0, 120.0], [1.0, 0.5], 1000.0, 2048)
+        spectrum = np.abs(np.fft.rfft(signal.data))
+        freqs = np.fft.rfftfreq(2048, 1 / 1000.0)
+        for target in signal.annotations["frequencies"]:
+            bin_idx = int(round(target * 2048 / 1000.0))
+            assert spectrum[bin_idx] > 0.3 * spectrum.max()
+            assert abs(freqs[bin_idx] - target) < 0.5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            multitone([1.0, 2.0], [1.0], 100.0, 256)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multitone([], [], 100.0, 256)
+
+
+class TestFromArray:
+    def test_wraps_and_annotates(self):
+        signal = from_array(np.arange(4), 100.0, record_id="r1")
+        assert signal.sample_rate == 100.0
+        assert signal.annotations["record_id"] == "r1"
+        assert signal.annotations["source"] == "array"
+        assert signal.data.dtype == np.float64

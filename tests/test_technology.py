@@ -1,0 +1,172 @@
+"""Tests of Table III technology constants and DesignPoint derivations."""
+
+import math
+
+import pytest
+
+from repro.power.technology import GPDK045, DesignPoint, Technology
+from repro.util.constants import FEMTO, MICRO
+
+
+class TestTechnologyDefaults:
+    def test_table3_values(self):
+        tech = GPDK045
+        assert tech.c_logic == pytest.approx(1e-15)
+        assert tech.gm_over_id == pytest.approx(20.0)
+        assert tech.cu_min == pytest.approx(1e-15)
+        assert tech.i_leak == pytest.approx(1e-12)
+        assert tech.e_bit == pytest.approx(1e-9)
+        assert tech.v_t == pytest.approx(25.27e-3)
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            Technology(c_logic=0.0)
+        with pytest.raises(ValueError):
+            Technology(e_bit=-1e-9)
+
+    def test_rejects_bad_mismatch_sigma(self):
+        with pytest.raises(ValueError):
+            Technology(unit_cap_mismatch_sigma=1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GPDK045.c_logic = 2e-15  # type: ignore[misc]
+
+
+class TestTechnologySizing:
+    def test_cap_area_scales_with_capacitance(self):
+        tech = GPDK045
+        assert tech.cap_area_um2(2e-15) == pytest.approx(2 * tech.cap_area_um2(1e-15))
+
+    def test_mismatch_improves_with_size(self):
+        tech = GPDK045
+        assert tech.cap_mismatch_sigma(4e-15) == pytest.approx(
+            tech.cap_mismatch_sigma(1e-15) / 2.0
+        )
+
+    def test_mismatch_clamped_below_unit(self):
+        tech = GPDK045
+        assert tech.cap_mismatch_sigma(0.1e-15) == tech.unit_cap_mismatch_sigma
+
+    def test_ktc_noise_value(self):
+        tech = GPDK045
+        # The classic reference point: sqrt(kT/1pF) ~ 64 uV at 300 K, so a
+        # 1 fF capacitor sits ~2 mV (sqrt(1000) times higher).
+        assert tech.kt_c_noise_rms(1e-12) == pytest.approx(64e-6, rel=0.05)
+        assert tech.kt_c_noise_rms(1e-15) == pytest.approx(2.03e-3, rel=0.05)
+
+    def test_sampling_cap_quantization_rule(self):
+        tech = GPDK045
+        cap = tech.sampling_cap_for_quantization(8, 2.0)
+        # kT/C noise power equals quantization noise power by construction.
+        assert tech.kt / cap == pytest.approx(2.0**2 / (12 * 4.0**8))
+
+    def test_sampling_cap_grows_4x_per_bit(self):
+        tech = GPDK045
+        assert tech.sampling_cap_for_quantization(9, 2.0) == pytest.approx(
+            4 * tech.sampling_cap_for_quantization(8, 2.0)
+        )
+
+    def test_dac_unit_cap_at_least_minimum(self):
+        assert GPDK045.dac_unit_cap(6) >= GPDK045.cu_min
+
+    def test_dac_unit_cap_grows_with_resolution(self):
+        assert GPDK045.dac_unit_cap(10) >= GPDK045.dac_unit_cap(6)
+
+    def test_dac_unit_cap_ideal_matching(self):
+        tech = Technology(unit_cap_mismatch_sigma=0.0)
+        assert tech.dac_unit_cap(12) == tech.cu_min
+
+    def test_hold_cap_for_noise(self):
+        tech = GPDK045
+        cap = tech.hold_cap_for_noise(10e-6)
+        assert tech.kt_c_noise_rms(cap) <= 10e-6 * (1 + 1e-12)
+
+    def test_hold_cap_never_below_minimum(self):
+        assert GPDK045.hold_cap_for_noise(1.0) == GPDK045.cu_min
+
+
+class TestDesignPointClocking:
+    def test_f_sample_rule(self, baseline_point):
+        assert baseline_point.f_sample == pytest.approx(2.1 * 256)
+
+    def test_f_clk_rule(self, baseline_point):
+        assert baseline_point.f_clk == pytest.approx(9 * 2.1 * 256)
+
+    def test_bw_lna_rule(self, baseline_point):
+        assert baseline_point.bw_lna == pytest.approx(3 * 256)
+
+    def test_noise_density(self, baseline_point):
+        expected = baseline_point.lna_noise_rms / math.sqrt(768.0)
+        assert baseline_point.lna_noise_density == pytest.approx(expected)
+
+    def test_baseline_output_rate_is_sample_rate(self, baseline_point):
+        assert baseline_point.output_sample_rate == baseline_point.f_sample
+        assert baseline_point.compression_ratio == 1.0
+
+    def test_cs_output_rate_compressed(self, cs_point):
+        assert cs_point.compression_ratio == pytest.approx(384 / 150)
+        assert cs_point.output_sample_rate == pytest.approx(
+            cs_point.f_sample * 150 / 384
+        )
+
+    def test_bit_rate(self, cs_point):
+        assert cs_point.bit_rate == pytest.approx(cs_point.output_sample_rate * 8)
+
+
+class TestDesignPointValidation:
+    def test_rejects_m_not_less_than_nphi(self):
+        with pytest.raises(ValueError, match="cs_m"):
+            DesignPoint(use_cs=True, cs_m=384, cs_n_phi=384)
+
+    def test_rejects_sparsity_above_m(self):
+        with pytest.raises(ValueError, match="cs_sparsity"):
+            DesignPoint(use_cs=True, cs_m=4, cs_sparsity=5)
+
+    def test_cs_fields_ignored_when_cs_disabled(self):
+        # A baseline point may carry nonsense CS fields without error.
+        point = DesignPoint(use_cs=False, cs_m=10_000)
+        assert not point.use_cs
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError):
+            DesignPoint(lna_noise_rms=0.0)
+
+    def test_with_creates_modified_copy(self, baseline_point):
+        other = baseline_point.with_(n_bits=6)
+        assert other.n_bits == 6
+        assert baseline_point.n_bits == 8
+
+    def test_describe_mentions_architecture(self, baseline_point, cs_point):
+        assert "baseline" in baseline_point.describe()
+        assert "CS(M=150/384" in cs_point.describe()
+
+
+class TestDesignPointCapacitors:
+    def test_sampling_cap_at_least_cu_min(self, baseline_point):
+        assert baseline_point.sampling_capacitance >= baseline_point.technology.cu_min
+
+    def test_cs_hold_cap_meets_matching_target(self, cs_point):
+        tech = cs_point.technology
+        sigma = tech.cap_mismatch_sigma(cs_point.cs_hold_capacitance)
+        assert sigma <= cs_point.cs_weight_mismatch_sigma * (1 + 1e-9)
+
+    def test_cs_sample_cap_ratio(self, cs_point):
+        expected = max(
+            cs_point.technology.cu_min,
+            cs_point.cs_hold_capacitance / cs_point.cs_cap_ratio,
+        )
+        assert cs_point.cs_sample_capacitance == pytest.approx(expected)
+
+    def test_lna_load_selects_architecture(self, baseline_point, cs_point):
+        assert baseline_point.lna_load_capacitance == baseline_point.sampling_capacitance
+        # Paper Section III: the CS front-end's LNA load is C_hold.
+        assert cs_point.lna_load_capacitance == cs_point.cs_hold_capacitance
+
+    def test_hold_cap_units_order_of_magnitude(self, cs_point):
+        # With sigma_u = 1 % and a 0.25 % weight target the hold capacitor
+        # must aggregate (1 % / 0.25 %)^2 = 16 unit cells.
+        assert cs_point.cs_hold_capacitance == pytest.approx(16 * FEMTO, rel=0.01)
+
+    def test_noise_parameter_microvolt_scale(self, cs_point):
+        assert 0.1 * MICRO < cs_point.lna_noise_rms < 100 * MICRO

@@ -1,0 +1,90 @@
+"""Tests of the ASCII chart utility."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import Evaluation
+from repro.power.technology import DesignPoint
+from repro.util.textplot import Series, TextChart, pareto_chart, scatter
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            Series("a", np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series("a", np.array([]), np.array([]))
+
+
+class TestTextChart:
+    def test_render_contains_glyphs_and_legend(self):
+        chart = TextChart(width=32, height=8)
+        chart.add("up", [0, 1, 2], [0, 1, 2]).add("down", [0, 1, 2], [2, 1, 0])
+        out = chart.render()
+        assert "o up" in out
+        assert "x down" in out
+        assert "o" in out.splitlines()[0] or any("o" in l for l in out.splitlines())
+
+    def test_axis_ticks_present(self):
+        chart = TextChart(width=32, height=8, x_label="power", y_label="snr")
+        chart.add("s", [1.0, 10.0], [5.0, 50.0])
+        out = chart.render()
+        assert "10" in out
+        assert "50" in out
+        assert "power" in out
+        assert "snr" in out
+
+    def test_monotone_series_renders_monotone(self):
+        chart = TextChart(width=20, height=6)
+        chart.add("s", [0, 1, 2, 3], [0, 1, 2, 3])
+        rows = [line.split("|", 1)[1] for line in chart.render().splitlines() if "|" in line]
+        # Top row holds the largest-y point (rightmost column), bottom the
+        # smallest (leftmost column).
+        assert rows[0].rstrip().endswith("o")
+        assert rows[-1].lstrip().startswith("o")
+
+    def test_degenerate_ranges_handled(self):
+        chart = TextChart(width=20, height=6)
+        chart.add("flat", [1, 2, 3], [5, 5, 5])
+        assert "flat" in chart.render()
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            TextChart().render()
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            TextChart(width=4, height=2)
+
+    def test_title_shown(self):
+        chart = TextChart(width=20, height=6, title="Fig. 7")
+        chart.add("s", [0, 1], [0, 1])
+        assert "Fig. 7" in chart.render()
+
+    def test_deterministic(self):
+        def build():
+            return TextChart(width=24, height=6).add("s", [0, 1, 2], [1, 4, 2]).render()
+
+        assert build() == build()
+
+
+class TestHelpers:
+    def test_scatter_wrapper(self):
+        out = scatter({"a": ([0, 1], [0, 1])}, x_label="p", y_label="q")
+        assert "a" in out
+        assert "p" in out
+
+    def test_pareto_chart_from_evaluations(self):
+        front = [
+            Evaluation(DesignPoint(), {"power_uw": 1.0, "accuracy": 0.9}),
+            Evaluation(DesignPoint(use_cs=True), {"power_uw": 2.0, "accuracy": 0.99}),
+        ]
+        out = pareto_chart({"baseline": front}, title="fig7b")
+        assert "fig7b" in out
+        assert "power_uw" in out
+
+    def test_pareto_chart_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pareto_chart({"empty": []})

@@ -1,0 +1,107 @@
+"""Tests of physical constants and unit conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.util import constants
+
+
+class TestThermal:
+    def test_kt_room_magnitude(self):
+        assert constants.KT_ROOM == pytest.approx(4.14e-21, rel=0.01)
+
+    def test_thermal_energy_default_matches_kt_room(self):
+        assert constants.thermal_energy() == constants.KT_ROOM
+
+    def test_thermal_energy_scales_linearly(self):
+        assert constants.thermal_energy(600.3) == pytest.approx(2 * constants.KT_ROOM)
+
+    def test_thermal_energy_rejects_zero(self):
+        with pytest.raises(ValueError):
+            constants.thermal_energy(0.0)
+
+    def test_thermal_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            constants.thermal_energy(-1.0)
+
+    def test_thermal_voltage_room(self):
+        # ~25.9 mV at 300 K.
+        assert constants.thermal_voltage() == pytest.approx(25.9e-3, rel=0.01)
+
+    def test_paper_vt_corresponds_to_cooler_extraction(self):
+        # Table III lists 25.27 mV, i.e. roughly 293 K.
+        assert constants.thermal_voltage(293.2) == pytest.approx(25.27e-3, rel=0.005)
+
+
+class TestPrefixes:
+    def test_prefix_ladder(self):
+        assert constants.FEMTO * constants.TERA == pytest.approx(1e-3)
+        assert constants.PICO / constants.NANO == pytest.approx(1e-3)
+        assert constants.MICRO * constants.MEGA == pytest.approx(1.0)
+        assert constants.KILO * constants.MILLI == pytest.approx(1.0)
+        assert constants.GIGA * constants.ATTO == pytest.approx(1e-9)
+
+
+class TestDecibels:
+    def test_db_power_ratio(self):
+        assert constants.db(10.0) == pytest.approx(10.0)
+        assert constants.db(100.0) == pytest.approx(20.0)
+
+    def test_db_amplitude_ratio(self):
+        assert constants.db_amplitude(10.0) == pytest.approx(20.0)
+
+    def test_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constants.db(0.0)
+        with pytest.raises(ValueError):
+            constants.db_amplitude(-3.0)
+
+    def test_from_db_roundtrip(self):
+        for value in (0.1, 1.0, 17.3, 120.0):
+            assert constants.from_db(constants.db(value)) == pytest.approx(value)
+
+    def test_from_db_amplitude_roundtrip(self):
+        for value in (0.5, 2.0, 1000.0):
+            assert constants.from_db_amplitude(
+                constants.db_amplitude(value)
+            ) == pytest.approx(value)
+
+
+class TestEnob:
+    def test_ideal_8bit_sndr(self):
+        assert constants.sndr_from_enob(8.0) == pytest.approx(49.92)
+
+    def test_enob_roundtrip(self):
+        for bits in (6.0, 7.5, 12.0):
+            assert constants.enob_from_sndr(constants.sndr_from_enob(bits)) == pytest.approx(
+                bits
+            )
+
+    def test_enob_is_monotone_in_sndr(self):
+        assert constants.enob_from_sndr(50.0) > constants.enob_from_sndr(40.0)
+
+    def test_quantization_noise_consistency(self):
+        # kT/C-sized cap of the S&H rule equals quantization noise power.
+        n, v_fs = 8, 2.0
+        c = 12.0 * constants.KT_ROOM * 4.0**n / v_fs**2
+        ktc_power = constants.KT_ROOM / c
+        quant_power = v_fs**2 / (12.0 * 4.0**n)
+        assert ktc_power == pytest.approx(quant_power)
+
+
+class TestMathHelpers:
+    def test_db_of_equal_powers_is_zero(self):
+        assert constants.db(1.0) == 0.0
+
+    def test_amplitude_vs_power_db_relation(self):
+        ratio = 3.7
+        assert constants.db_amplitude(ratio) == pytest.approx(
+            constants.db(ratio**2), rel=1e-12
+        )
+
+    def test_thermal_voltage_uses_charge(self):
+        assert constants.thermal_voltage(300.0) == pytest.approx(
+            constants.BOLTZMANN_K * 300.0 / constants.ELEMENTARY_CHARGE
+        )
+        assert math.isclose(constants.ELEMENTARY_CHARGE, 1.602e-19, rel_tol=1e-3)

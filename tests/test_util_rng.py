@@ -1,0 +1,87 @@
+"""Tests of the deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import (
+    DEFAULT_SEED,
+    SeedSequenceRegistry,
+    derive_seed,
+    make_rng,
+    spawn_rng,
+)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).normal(size=16)
+        b = make_rng(42).normal(size=16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_different_streams(self):
+        a = make_rng(1).normal(size=16)
+        b = make_rng(2).normal(size=16)
+        assert not np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).normal(size=8)
+        b = make_rng(DEFAULT_SEED).normal(size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "lna") == derive_seed(7, "lna")
+
+    def test_tag_sensitivity(self):
+        assert derive_seed(7, "lna") != derive_seed(7, "adc")
+
+    def test_parent_sensitivity(self):
+        assert derive_seed(7, "lna") != derive_seed(8, "lna")
+
+    def test_result_is_nonnegative_64bit(self):
+        seed = derive_seed(123456, "block")
+        assert 0 <= seed < 2**64
+
+    def test_spawn_rng_matches_derive(self):
+        a = spawn_rng(3, "x").normal(size=4)
+        b = np.random.default_rng(derive_seed(3, "x")).normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSeedSequenceRegistry:
+    def test_same_name_restarts_stream(self):
+        reg = SeedSequenceRegistry(11)
+        first = reg.rng("lna").normal(size=8)
+        second = reg.rng("lna").normal(size=8)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_names_independent(self):
+        reg = SeedSequenceRegistry(11)
+        assert not np.array_equal(reg.rng("a").normal(size=8), reg.rng("b").normal(size=8))
+
+    def test_issued_records_names(self):
+        reg = SeedSequenceRegistry(11)
+        reg.rng("lna")
+        reg.rng("adc")
+        assert set(reg.issued()) == {"lna", "adc"}
+
+    def test_child_registries_differ_from_parent(self):
+        parent = SeedSequenceRegistry(11)
+        child = parent.child("point-1")
+        assert parent.rng("lna").normal() != pytest.approx(child.rng("lna").normal())
+
+    def test_child_reproducible(self):
+        a = SeedSequenceRegistry(11).child("p").rng("x").normal(size=4)
+        b = SeedSequenceRegistry(11).child("p").rng("x").normal(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_children_independent(self):
+        parent = SeedSequenceRegistry(11)
+        a = parent.child("p1").rng("x").normal(size=4)
+        b = parent.child("p2").rng("x").normal(size=4)
+        assert not np.array_equal(a, b)

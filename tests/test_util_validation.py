@@ -1,0 +1,81 @@
+"""Tests of the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util import validation
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts(self):
+        assert validation.check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            validation.check_positive("x", 0)
+
+    def test_check_positive_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.check_positive("x", -1)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert validation.check_non_negative("x", 0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.check_non_negative("x", -0.001)
+
+    def test_check_fraction_bounds(self):
+        assert validation.check_fraction("f", 0.0) == 0.0
+        assert validation.check_fraction("f", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            validation.check_fraction("f", 1.01)
+        with pytest.raises(ValueError):
+            validation.check_fraction("f", -0.01)
+
+    def test_check_positive_int_accepts(self):
+        assert validation.check_positive_int("n", 3) == 3
+
+    def test_check_positive_int_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            validation.check_positive_int("n", 2.5)
+
+    def test_check_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            validation.check_positive_int("n", 0)
+
+    def test_check_in(self):
+        assert validation.check_in("mode", "a", ["a", "b"]) == "a"
+        with pytest.raises(ValueError):
+            validation.check_in("mode", "c", ["a", "b"])
+
+    def test_check_range(self):
+        assert validation.check_range("v", 5, 0, 10) == 5.0
+        with pytest.raises(ValueError):
+            validation.check_range("v", 11, 0, 10)
+
+
+class TestArrayChecks:
+    def test_as_1d_array_from_list(self):
+        arr = validation.as_1d_array("x", [1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.shape == (3,)
+
+    def test_as_1d_array_scalar_promoted(self):
+        assert validation.as_1d_array("x", 5.0).shape == (1,)
+
+    def test_as_1d_array_rejects_2d(self):
+        with pytest.raises(ValueError):
+            validation.as_1d_array("x", np.zeros((2, 2)))
+
+    def test_check_finite_accepts(self):
+        arr = np.array([1.0, -2.0])
+        assert validation.check_finite("x", arr) is arr
+
+    def test_check_finite_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            validation.check_finite("x", np.array([1.0, np.nan]))
+
+    def test_check_finite_rejects_inf(self):
+        with pytest.raises(ValueError):
+            validation.check_finite("x", np.array([np.inf]))
