@@ -12,7 +12,18 @@ Reproduces the Fig. 7 b) pathfinding flow for EEG epilepsy detection:
 
 Run:  python examples/epilepsy_pathfinding.py            (smoke scale, ~1 min)
       REPRO_SCALE=small python examples/epilepsy_pathfinding.py   (~10 min)
+
+Large sweeps parallelise, checkpoint and cache:
+
+      python examples/epilepsy_pathfinding.py --workers 4 \
+          --checkpoint sweep.ckpt.jsonl --cache-dir .repro-cache
+
+Interrupt it mid-sweep and re-run: completed points are restored from the
+JSONL checkpoint (and any earlier run's on-disk cache) instead of being
+re-simulated.
 """
+
+import argparse
 
 from repro.experiments import (
     active_scale,
@@ -23,7 +34,21 @@ from repro.experiments import (
 )
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel workers (default: REPRO_WORKERS, else serial)")
+    parser.add_argument("--executor", choices=["serial", "process", "thread"],
+                        default=None)
+    parser.add_argument("--checkpoint", default=None,
+                        help="JSONL checkpoint path (re-run resumes)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk evaluation cache directory")
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     scale = active_scale()
     print(
         f"scale={scale.name}: {scale.n_eval_records} eval records x "
@@ -32,8 +57,18 @@ def main() -> None:
     )
 
     print("\nsweeping the search space (baseline + CS grids)...")
-    sweep = run_search_space(scale.name)
+    sweep = run_search_space(
+        scale.name,
+        executor=args.executor,
+        n_workers=args.workers,
+        checkpoint=args.checkpoint,
+        cache_dir=args.cache_dir,
+    )
     print(f"evaluated {len(sweep)} design points")
+    if sweep.failures():
+        for failed in sweep.failures():
+            print(f"  FAILED {failed.point.describe()}: {failed.error}")
+        sweep = sweep.successes()
 
     # The paper's 98 % bound needs the small/paper scales; the smoke
     # scale's short records raise the oracle's variance floor, so the

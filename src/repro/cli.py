@@ -61,8 +61,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import analyze_fig7, render_front, run_search_space
     from repro.util.textplot import pareto_chart
 
-    sweep = run_search_space(args.scale)
-    print(f"evaluated {len(sweep)} design points at scale {args.scale!r}\n")
+    sweep = run_search_space(
+        args.scale,
+        executor=args.executor,
+        n_workers=args.workers,
+        checkpoint=args.checkpoint,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    full_sweep = sweep
+    failures = sweep.failures()
+    print(f"evaluated {len(sweep)} design points at scale {args.scale!r}")
+    if failures:
+        print(f"WARNING: {len(failures)} design points failed:")
+        for failed in failures:
+            print(f"  {failed.point.describe()}: {failed.error}")
+        sweep = sweep.successes()
+    print()
     fig7 = analyze_fig7(sweep, min_accuracy=args.min_accuracy)
     print("baseline accuracy front:")
     print(render_front(fig7.accuracy_front_baseline, "accuracy"))
@@ -80,10 +94,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     if args.save:
-        save_result(sweep, args.save)
+        save_result(full_sweep, args.save)
         print(f"\nsaved sweep to {args.save}")
     if args.csv:
-        sweep.to_csv(args.csv)
+        full_sweep.to_csv(args.csv)
         print(f"saved CSV to {args.csv}")
     return 0
 
@@ -149,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--min-accuracy", type=float, default=0.9)
     sweep.add_argument("--save", help="write the raw sweep as JSON")
     sweep.add_argument("--csv", help="write the sweep metrics as CSV")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers (default: REPRO_WORKERS env var, else serial)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=["serial", "process", "thread"],
+        default=None,
+        help="execution backend (default: process when --workers > 1)",
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        help="JSONL checkpoint path; re-running with the same path resumes the sweep",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="on-disk evaluation cache directory (repeat runs skip evaluated points)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk evaluation cache"
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     report = sub.add_parser("report", help="re-analyse a saved sweep")

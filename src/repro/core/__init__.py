@@ -8,6 +8,7 @@
 """
 
 from repro.core.block import Block, FunctionBlock, PassthroughBlock, SimulationContext
+from repro.core.execution import EvaluationCache, SweepCheckpoint
 from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
 from repro.core.goal import (
     Goal,
@@ -35,6 +36,7 @@ __all__ = [
     "DOMAINS",
     "DesignSpaceExplorer",
     "Evaluation",
+    "EvaluationCache",
     "ExplorationResult",
     "FrontEndEvaluator",
     "FunctionBlock",
@@ -46,6 +48,7 @@ __all__ = [
     "SimulationContext",
     "SimulationResult",
     "Simulator",
+    "SweepCheckpoint",
     "SystemGraph",
     "SystemModel",
     "Signal",

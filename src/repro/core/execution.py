@@ -1,0 +1,261 @@
+"""Sweep execution infrastructure: caching, checkpointing, worker plumbing.
+
+The design-space sweep is the framework's hot path (hundreds of points,
+each a full-corpus simulation), so :meth:`DesignSpaceExplorer.explore`
+layers three orthogonal mechanisms on top of the bare evaluation loop:
+
+* **Parallel dispatch** -- design points fan out over a process or thread
+  pool in index-tagged chunks; results reassemble in grid order, so the
+  returned :class:`~repro.core.results.ExplorationResult` is bit-identical
+  to a serial sweep regardless of completion order.  Per-point seeds are
+  derived from the master seed and the point description (never from the
+  evaluation order), which is what makes the reordering safe.
+* **On-disk caching** (:class:`EvaluationCache`) -- evaluations persist
+  keyed by ``(evaluator fingerprint, point description)``; re-running an
+  experiment skips every already-evaluated point.
+* **JSONL checkpointing** (:class:`SweepCheckpoint`) -- each completed
+  evaluation is appended as one JSON line; a re-run with the same
+  checkpoint path resumes mid-sweep after an interruption.
+
+Worker processes receive the evaluator once (pool initializer), not per
+task, so the corpus array crosses the process boundary a single time per
+worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Callable, Sequence
+from pathlib import Path
+
+from repro.core.results import Evaluation
+from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
+from repro.power.technology import DesignPoint
+
+#: Valid values of ``DesignSpaceExplorer.explore(executor=...)``.
+EXECUTORS = ("serial", "process", "thread")
+
+
+def evaluate_one(
+    evaluator: Callable[[DesignPoint], Evaluation],
+    point: DesignPoint,
+    strict: bool,
+) -> Evaluation:
+    """Evaluate ``point``, isolating failures unless ``strict``.
+
+    A raising design point becomes a failed :class:`Evaluation` (empty
+    metrics, ``error`` set) so one pathological grid corner cannot kill an
+    hours-long sweep; ``strict=True`` restores fail-fast semantics.
+    """
+    try:
+        return evaluator(point)
+    except Exception as error:  # noqa: BLE001 - the isolation boundary
+        if strict:
+            raise
+        return Evaluation(
+            point=point,
+            metrics={},
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+def evaluator_fingerprint(evaluator: object) -> str:
+    """Cache identity of an evaluator.
+
+    Prefers an explicit ``fingerprint()`` method (implemented by
+    :class:`~repro.core.explorer.FrontEndEvaluator` over its corpus,
+    seed and detector); falls back to the qualified class name, which is
+    correct only for stateless evaluators -- custom stateful evaluators
+    should implement ``fingerprint()``.
+    """
+    method = getattr(evaluator, "fingerprint", None)
+    if callable(method):
+        return str(method())
+    kind = type(evaluator)
+    return f"{kind.__module__}.{kind.__qualname__}"
+
+
+def chunk_pending(
+    pending: Sequence[tuple[int, DesignPoint]],
+    n_workers: int,
+    chunk_size: int | None = None,
+) -> list[list[tuple[int, DesignPoint]]]:
+    """Split index-tagged points into dispatch chunks.
+
+    Default sizing aims at ~4 chunks per worker: large enough to amortise
+    dispatch overhead, small enough that a slow chunk cannot straggle the
+    whole pool.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(pending) // (n_workers * 4)))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    items = list(pending)
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+# --- worker-side entry points (must be module-level for pickling) ------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(evaluator: Callable, strict: bool) -> None:
+    """Process-pool initializer: receive the evaluator once per worker."""
+    _WORKER_STATE["evaluator"] = evaluator
+    _WORKER_STATE["strict"] = strict
+
+
+def _evaluate_chunk(chunk: list[tuple[int, DesignPoint]]) -> list[tuple[int, Evaluation]]:
+    """Evaluate one chunk inside a pool worker (uses initializer state)."""
+    evaluator = _WORKER_STATE["evaluator"]
+    strict = _WORKER_STATE["strict"]
+    return [(index, evaluate_one(evaluator, point, strict)) for index, point in chunk]
+
+
+def evaluate_chunk_with(
+    evaluator: Callable,
+    strict: bool,
+    chunk: list[tuple[int, DesignPoint]],
+) -> list[tuple[int, Evaluation]]:
+    """Evaluate one chunk with an explicit evaluator (thread-pool path)."""
+    return [(index, evaluate_one(evaluator, point, strict)) for index, point in chunk]
+
+
+# --- on-disk evaluation cache ------------------------------------------------
+
+
+class EvaluationCache:
+    """Directory of evaluated design points, keyed by content.
+
+    One JSON file per ``(evaluator fingerprint, point description)`` pair,
+    named by the SHA-256 of the key, written atomically (temp file +
+    rename) so concurrent sweeps sharing a cache directory never observe
+    torn entries.  Failed evaluations are never cached: a crash is worth
+    retrying on the next run.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str, point: DesignPoint) -> Path:
+        key = hashlib.sha256(
+            f"{fingerprint}\n{point.describe()}".encode()
+        ).hexdigest()
+        return self.directory / f"{key}.json"
+
+    def get(self, fingerprint: str, point: DesignPoint) -> Evaluation | None:
+        """Cached evaluation of ``point``, or ``None``."""
+        path = self._path(fingerprint, point)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("point_description") != point.describe():
+                raise ValueError("cache key collision")
+            evaluation = evaluation_from_dict(payload["evaluation"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return evaluation
+
+    def put(self, fingerprint: str, point: DesignPoint, evaluation: Evaluation) -> None:
+        """Store one evaluation (no-op for failed evaluations)."""
+        if evaluation.error is not None:
+            return
+        payload = {
+            "point_description": point.describe(),
+            "evaluation": evaluation_to_dict(evaluation),
+        }
+        path = self._path(fingerprint, point)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(json.dumps(payload))
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+# --- JSONL checkpointing -----------------------------------------------------
+
+
+class SweepCheckpoint:
+    """Append-only JSONL record of completed evaluations.
+
+    Each line is ``{"index": i, "point": describe, "evaluation": {...}}``.
+    Appends are single ``write`` calls followed by flush+fsync, so an
+    interrupted sweep loses at most the in-flight line -- which
+    :meth:`load` tolerates by skipping unparseable trailing data.
+    Resume matches entries against the grid by *both* index and point
+    description: a checkpoint from a different grid is ignored rather
+    than trusted.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    def load(self, expected: dict[int, str] | None = None) -> dict[int, Evaluation]:
+        """Completed evaluations by grid index (last write wins).
+
+        ``expected`` maps grid index -> point description; entries that
+        do not match (stale checkpoint, changed grid) are dropped.
+        """
+        restored: dict[int, Evaluation] = {}
+        if not self.path.exists():
+            return restored
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    index = int(payload["index"])
+                    description = payload["point"]
+                    evaluation = evaluation_from_dict(payload["evaluation"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn/corrupt line (e.g. a killed writer)
+                if expected is not None and expected.get(index) != description:
+                    continue
+                restored[index] = evaluation
+        return restored
+
+    def append(self, index: int, evaluation: Evaluation) -> None:
+        """Record one completed evaluation (atomic single-line append)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a")
+        line = json.dumps(
+            {
+                "index": index,
+                "point": evaluation.point.describe(),
+                "evaluation": evaluation_to_dict(evaluation),
+            }
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (load remains possible)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

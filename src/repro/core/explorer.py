@@ -18,10 +18,27 @@ Two layers:
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections.abc import Callable, Iterable
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from functools import partial
+from pathlib import Path
 
 import numpy as np
 
+from repro.core.execution import (
+    EXECUTORS,
+    EvaluationCache,
+    SweepCheckpoint,
+    _evaluate_chunk,
+    _init_worker,
+    chunk_pending,
+    evaluate_chunk_with,
+    evaluate_one,
+    evaluator_fingerprint,
+)
 from repro.core.parameters import CompositeSpace, ParameterSpace
 from repro.core.results import Evaluation, ExplorationResult
 from repro.core.signal import Signal
@@ -96,6 +113,38 @@ class FrontEndEvaluator:
             self._basis_cache[point.cs_n_phi] = basis
         return Reconstructor(basis=basis, method="fista", lam_rel=0.002, n_iter=300)
 
+    def fingerprint(self) -> str:
+        """Content identity for the on-disk evaluation cache.
+
+        Hashes everything the evaluation outcome depends on besides the
+        design point itself: corpus, labels, rate, master seed, detector
+        state and the reconstructor configuration.  Custom reconstructor
+        factories should expose their own ``fingerprint()``; otherwise
+        their qualified name stands in (correct only when the factory is
+        stateless).
+        """
+        import repro
+
+        digest = hashlib.sha256()
+        # Version-stamp the key: a model change that bumps the package
+        # version invalidates cached evaluations.
+        digest.update(f"repro={getattr(repro, '__version__', '?')}".encode())
+        digest.update(self.records.tobytes())
+        digest.update(repr(self.records.shape).encode())
+        if self.labels is not None:
+            digest.update(self.labels.tobytes())
+        digest.update(f"rate={self.sample_rate!r}:seed={self.seed}".encode())
+        if self.detector is not None:
+            digest.update(pickle.dumps(self.detector))
+        factory = self.reconstructor_factory
+        method = getattr(factory, "fingerprint", None)
+        if callable(method):
+            factory_tag = str(method())
+        else:
+            factory_tag = getattr(factory, "__qualname__", type(factory).__qualname__)
+        digest.update(factory_tag.encode())
+        return digest.hexdigest()
+
     # --- single-point evaluation ---------------------------------------------
 
     def evaluate(self, point: DesignPoint) -> Evaluation:
@@ -108,7 +157,12 @@ class FrontEndEvaluator:
             build_digital_cs_chain,
         )
 
-        if abs(point.f_sample - self.sample_rate) / point.f_sample > 0.02:
+        # Symmetric 2 % relative tolerance (math.isclose-style): dividing
+        # by only one of the two rates would accept/reject asymmetrically
+        # around the nominal rate.
+        if abs(point.f_sample - self.sample_rate) > 0.02 * max(
+            point.f_sample, self.sample_rate
+        ):
             raise ValueError(
                 f"records are at {self.sample_rate} Hz but the design point samples "
                 f"at {point.f_sample} Hz; resample the corpus to f_sample"
@@ -171,7 +225,8 @@ class DesignSpaceExplorer:
     ``evaluator`` is any callable mapping a DesignPoint to an
     :class:`Evaluation` -- usually a :class:`FrontEndEvaluator`, but tests
     plug in closed-form evaluators to exercise the exploration logic in
-    isolation.
+    isolation.  For ``executor="process"`` the evaluator must be picklable
+    (module-level classes/functions; :class:`FrontEndEvaluator` qualifies).
     """
 
     def __init__(self, evaluator: Callable[[DesignPoint], Evaluation]):
@@ -183,22 +238,142 @@ class DesignSpaceExplorer:
         base: DesignPoint | None = None,
         name: str = "sweep",
         progress: Callable[[int, Evaluation], None] | None = None,
+        *,
+        executor: str = "serial",
+        n_workers: int | None = None,
+        chunk_size: int | None = None,
+        cache: EvaluationCache | str | Path | None = None,
+        checkpoint: str | Path | None = None,
+        strict: bool = False,
     ) -> ExplorationResult:
         """Evaluate every point of ``space``.
 
-        ``progress(index, evaluation)`` is invoked after each point (used
-        by the example scripts for live logging).
+        Parameters
+        ----------
+        progress:
+            ``progress(index, evaluation)`` is invoked once per completed
+            point (used by the example scripts for live logging).  Under a
+            parallel executor the invocation order follows *completion*
+            order; the returned result is always in grid order.
+        executor:
+            ``"serial"`` (default), ``"process"`` or ``"thread"``.  Seeds
+            derive from the master seed and the point description, never
+            from evaluation order, so all three backends return
+            bit-identical results.
+        n_workers:
+            Pool size for parallel executors (default ``os.cpu_count()``).
+        chunk_size:
+            Points per dispatch chunk (default targets ~4 chunks/worker).
+        cache:
+            :class:`EvaluationCache` or a directory path.  Points whose
+            ``(evaluator fingerprint, description)`` key is already on
+            disk are not re-evaluated.
+        checkpoint:
+            JSONL path.  Every completed evaluation is appended; re-running
+            with the same path resumes the sweep after an interruption
+            without re-evaluating completed points.
+        strict:
+            When ``False`` (default) a raising design point is recorded as
+            a failed :class:`Evaluation` (``error`` set, empty metrics)
+            instead of killing the sweep; ``True`` re-raises immediately.
         """
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
         if isinstance(space, (ParameterSpace, CompositeSpace)):
-            points: Iterable[DesignPoint] = space.grid(base)
+            points = list(space.grid(base))
         else:
-            points = space
-        evaluations = []
-        for index, point in enumerate(points):
-            evaluation = self.evaluator(point)
-            evaluations.append(evaluation)
+            points = list(space)
+        if not points:
+            raise ValueError("design space produced no points to evaluate")
+
+        cache_store: EvaluationCache | None
+        if cache is None or isinstance(cache, EvaluationCache):
+            cache_store = cache
+        else:
+            cache_store = EvaluationCache(cache)
+        fingerprint = (
+            evaluator_fingerprint(self.evaluator) if cache_store is not None else ""
+        )
+
+        ckpt = SweepCheckpoint(checkpoint) if checkpoint is not None else None
+        restored: dict[int, Evaluation] = {}
+        if ckpt is not None:
+            expected = {i: p.describe() for i, p in enumerate(points)}
+            restored = ckpt.load(expected)
+
+        results: list[Evaluation | None] = [None] * len(points)
+        pending: list[tuple[int, DesignPoint]] = []
+
+        def finalize(index: int, evaluation: Evaluation, record: bool = True) -> None:
+            results[index] = evaluation
+            if record and ckpt is not None:
+                ckpt.append(index, evaluation)
+            if record and cache_store is not None:
+                cache_store.put(fingerprint, points[index], evaluation)
             if progress is not None:
                 progress(index, evaluation)
-        if not evaluations:
-            raise ValueError("design space produced no points to evaluate")
-        return ExplorationResult(evaluations, name=name)
+
+        try:
+            for index, point in enumerate(points):
+                evaluation = restored.get(index)
+                if evaluation is not None:
+                    finalize(index, evaluation, record=False)
+                    continue
+                if cache_store is not None:
+                    evaluation = cache_store.get(fingerprint, point)
+                    if evaluation is not None:
+                        # Mirror the hit into the checkpoint so resume
+                        # stays complete even without the cache directory.
+                        if ckpt is not None:
+                            ckpt.append(index, evaluation)
+                        finalize(index, evaluation, record=False)
+                        continue
+                pending.append((index, point))
+
+            if pending and executor == "serial":
+                for index, point in pending:
+                    finalize(index, evaluate_one(self.evaluator, point, strict))
+            elif pending:
+                self._run_parallel(
+                    pending, executor, n_workers, chunk_size, strict, finalize
+                )
+        finally:
+            if ckpt is not None:
+                ckpt.close()
+        return ExplorationResult(results, name=name)
+
+    def _run_parallel(
+        self,
+        pending: list[tuple[int, DesignPoint]],
+        executor: str,
+        n_workers: int | None,
+        chunk_size: int | None,
+        strict: bool,
+        finalize: Callable[[int, Evaluation], None],
+    ) -> None:
+        """Fan ``pending`` out over a pool, finalising in completion order."""
+        workers = n_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(pending)))
+        chunks = chunk_pending(pending, workers, chunk_size)
+        if executor == "process":
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.evaluator, strict),
+            )
+            task = _evaluate_chunk
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+            task = partial(evaluate_chunk_with, self.evaluator, strict)
+        with pool:
+            futures = {pool.submit(task, chunk) for chunk in chunks}
+            try:
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        for index, evaluation in future.result():
+                            finalize(index, evaluation)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise

@@ -12,6 +12,12 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
+#: Candidate block size of the vectorised domination filter: bounds peak
+#: memory at ``n * block * n_objectives`` comparisons per step.
+_PARETO_BLOCK = 256
+
 
 @dataclass(frozen=True)
 class Objective:
@@ -65,22 +71,40 @@ def pareto_front(
         caps).
 
     Returns the non-dominated items, sorted by the first objective
-    (ascending for minimised, descending for maximised).
+    (ascending for minimised, descending for maximised).  Items missing
+    one of the objective metrics (heterogeneous sweeps, failed points)
+    are treated as infeasible and excluded, like constraint violations.
     """
-    feasible = [
-        item
-        for item in evaluations
-        if constraint is None or constraint(metrics_of(item))
-    ]
-    front = []
-    for candidate in feasible:
-        cand_metrics = metrics_of(candidate)
-        if not any(
-            dominates(metrics_of(other), cand_metrics, objectives)
-            for other in feasible
-            if other is not candidate
-        ):
-            front.append(candidate)
+    if not objectives:
+        raise ValueError("need at least one objective")
+    names = [obj.metric for obj in objectives]
+    feasible = []
+    for item in evaluations:
+        metrics = metrics_of(item)
+        if any(name not in metrics for name in names):
+            continue
+        if constraint is None or constraint(metrics):
+            feasible.append(item)
+    if not feasible:
+        return []
+    # Vectorised non-dominated filter.  Sign-flip maximised axes so every
+    # objective is minimised, then a candidate is dominated iff some row
+    # is <= on every axis and < on at least one.  Identical rows never
+    # strictly improve, so ties/duplicates all stay on the front, and the
+    # diagonal (self vs self) needs no masking -- exactly the semantics of
+    # the scalar ``dominates`` applied pairwise.
+    signs = np.array([-1.0 if obj.maximize else 1.0 for obj in objectives])
+    values = np.array(
+        [[metrics_of(item)[name] for name in names] for item in feasible], dtype=float
+    )
+    values *= signs
+    keep = np.ones(len(feasible), dtype=bool)
+    for start in range(0, len(feasible), _PARETO_BLOCK):
+        block = values[start : start + _PARETO_BLOCK]  # (b, k) candidates
+        at_least = (values[:, None, :] <= block[None, :, :]).all(axis=2)  # (n, b)
+        strictly = (values[:, None, :] < block[None, :, :]).any(axis=2)
+        keep[start : start + block.shape[0]] = ~(at_least & strictly).any(axis=0)
+    front = [item for item, kept in zip(feasible, keep) if kept]
     primary = objectives[0]
     front.sort(key=lambda item: metrics_of(item)[primary.metric], reverse=primary.maximize)
     return front
@@ -95,12 +119,14 @@ def best_feasible(
     """The feasible item minimising ``minimize_metric`` (paper's "optimal point").
 
     E.g. the minimum-power design meeting accuracy >= 98 %.  Returns
-    ``None`` when nothing is feasible.
+    ``None`` when nothing is feasible.  Items missing ``minimize_metric``
+    are infeasible by definition (heterogeneous sweeps, failed points).
     """
     feasible = [
         item
         for item in evaluations
-        if constraint is None or constraint(metrics_of(item))
+        if minimize_metric in (metrics := metrics_of(item))
+        and (constraint is None or constraint(metrics))
     ]
     if not feasible:
         return None

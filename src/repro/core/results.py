@@ -20,12 +20,20 @@ class Evaluation:
 
     ``metrics`` holds scalar results (``snr_db``, ``accuracy``,
     ``power_uw``, ``area_units``, ...); ``breakdown`` optionally carries
-    the per-block power dict for Fig. 4/8-style plots.
+    the per-block power dict for Fig. 4/8-style plots.  ``error`` is set
+    (and ``metrics`` left empty) when the point failed to evaluate under
+    the explorer's fault isolation.
     """
 
     point: DesignPoint
     metrics: dict[str, float]
     breakdown: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True unless the evaluation failed."""
+        return self.error is None
 
     def metric(self, name: str) -> float:
         """Metric value by name (KeyError lists what exists)."""
@@ -41,6 +49,8 @@ class Evaluation:
         parts = [self.point.describe()]
         for name in sorted(self.metrics):
             parts.append(f"{name}={self.metrics[name]:.4g}")
+        if self.error is not None:
+            parts.append(f"FAILED({self.error})")
         return "  ".join(parts)
 
 
@@ -79,17 +89,34 @@ class ExplorationResult:
         cs.name = f"{self.name}-cs"
         return baseline, cs
 
+    def failures(self) -> list[Evaluation]:
+        """Evaluations that failed under fault isolation."""
+        return [e for e in self._evaluations if not e.ok]
+
+    def successes(self) -> "ExplorationResult":
+        """Sub-result restricted to evaluations that did not fail."""
+        return self.filter(lambda e: e.ok)
+
     def values(self, metric: str) -> list[float]:
-        """All values of one metric, in evaluation order."""
-        return [e.metric(metric) for e in self._evaluations]
+        """All values of one metric, in evaluation order.
+
+        Points lacking the metric (heterogeneous sweeps: failed points,
+        detector-less baselines) yield ``nan`` rather than raising, so
+        mixed sweeps stay plottable.
+        """
+        return [e.metrics.get(metric, float("nan")) for e in self._evaluations]
 
     def pareto(
         self,
         objectives: Sequence[Objective],
         constraint: Callable[[dict], bool] | None = None,
     ) -> list[Evaluation]:
-        """Non-dominated evaluations under ``objectives`` (see core.pareto)."""
-        return pareto_front(self._evaluations, objectives, constraint=constraint)
+        """Non-dominated evaluations under ``objectives`` (see core.pareto).
+
+        Failed evaluations are excluded before domination filtering.
+        """
+        candidates = [e for e in self._evaluations if e.ok]
+        return pareto_front(candidates, objectives, constraint=constraint)
 
     def best(
         self,
@@ -97,15 +124,23 @@ class ExplorationResult:
         constraint: Callable[[dict], bool] | None = None,
     ) -> Evaluation | None:
         """Feasible evaluation minimising ``minimize`` (the paper's optimum)."""
-        return best_feasible(self._evaluations, minimize, constraint=constraint)
+        candidates = [e for e in self._evaluations if e.ok]
+        return best_feasible(candidates, minimize, constraint=constraint)
 
     def as_table(self, metrics: Sequence[str], max_rows: int | None = None) -> str:
-        """Fixed-width text table of selected metrics."""
+        """Fixed-width text table of selected metrics.
+
+        Metrics a row does not carry render as blank cells, so tables of
+        heterogeneous sweeps (mixed baseline/CS, failed points) work.
+        """
         rows = self._evaluations if max_rows is None else self._evaluations[:max_rows]
         header = f"{'design point':<42}" + "".join(f"{m:>14}" for m in metrics)
         lines = [header]
         for evaluation in rows:
-            cells = "".join(f"{evaluation.metric(m):>14.4g}" for m in metrics)
+            cells = "".join(
+                f"{evaluation.metrics[m]:>14.4g}" if m in evaluation.metrics else f"{'':>14}"
+                for m in metrics
+            )
             lines.append(f"{evaluation.point.describe():<42}{cells}")
         return "\n".join(lines)
 

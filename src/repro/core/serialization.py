@@ -36,11 +36,14 @@ def design_point_from_dict(payload: dict) -> DesignPoint:
 
 def evaluation_to_dict(evaluation: Evaluation) -> dict:
     """Evaluation -> plain dict."""
-    return {
+    payload = {
         "point": design_point_to_dict(evaluation.point),
         "metrics": dict(evaluation.metrics),
         "breakdown": dict(evaluation.breakdown),
     }
+    if evaluation.error is not None:
+        payload["error"] = evaluation.error
+    return payload
 
 
 def evaluation_from_dict(payload: dict) -> Evaluation:
@@ -49,6 +52,7 @@ def evaluation_from_dict(payload: dict) -> Evaluation:
         point=design_point_from_dict(payload["point"]),
         metrics=dict(payload["metrics"]),
         breakdown=dict(payload.get("breakdown", {})),
+        error=payload.get("error"),
     )
 
 

@@ -19,6 +19,7 @@ object the simulation chain and the explorer consume.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -131,9 +132,8 @@ def ista(
         return out[0] if np.ndim(y) == 1 else out
     step = 1.0 / lipschitz
     z = np.zeros((y2.shape[0], a.shape[1]))
-    at = a.T
     for _ in range(n_iter):
-        gradient = (z @ a.T - y2) @ at.T  # (B, N): A^T (A z - y), batched
+        gradient = (z @ a.T - y2) @ a  # (B, N): (A z - y) A, batched
         z_next = _soft_threshold(z - step * gradient, lam * step)
         if np.max(np.abs(z_next - z)) <= tol:
             z = z_next
@@ -296,14 +296,21 @@ class Reconstructor:
         check_positive_int("n_iter", self.n_iter)
 
     def _effective_dictionary(self, phi_eff: np.ndarray) -> np.ndarray:
-        """A = Phi_eff @ Psi, cached per Phi_eff identity."""
-        key = id(phi_eff)
+        """A = Phi_eff @ Psi, cached by Phi_eff content.
+
+        Keyed by a content fingerprint (shape + byte hash), not ``id()``:
+        object identity does not survive pickling, so an identity key
+        silently misses in every pool worker of a parallel sweep (and can
+        alias when ids are recycled).
+        """
+        phi_eff = np.ascontiguousarray(phi_eff)
+        key = (phi_eff.shape, hashlib.sha1(phi_eff.tobytes()).hexdigest())
         cached = self._cache.get(key)
-        if cached is None or cached[0] is not phi_eff:
+        if cached is None:
             a = phi_eff if self.basis is None else phi_eff @ self.basis
-            self._cache = {key: (phi_eff, a)}
-            cached = self._cache[key]
-        return cached[1]
+            self._cache = {key: a}
+            cached = a
+        return cached
 
     def recover(self, phi_eff: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Recover signal frames from measurements.

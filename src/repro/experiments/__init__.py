@@ -28,8 +28,10 @@ from repro.experiments.runner import (
     SCALES,
     ExperimentHarness,
     ExperimentScale,
+    FistaReconstructorFactory,
     active_scale,
     augment_training_set,
+    default_workers,
     make_harness,
     run_search_space,
 )
@@ -66,7 +68,9 @@ __all__ = [
     "PAPER_POWER_SAVING",
     "SCALES",
     "TABLE1_COLUMNS",
+    "FistaReconstructorFactory",
     "active_scale",
+    "default_workers",
     "analyze_fig10",
     "analyze_fig7",
     "analyze_fig8",

@@ -107,6 +107,20 @@ def active_scale() -> ExperimentScale:
         raise ValueError(f"REPRO_SCALE={name!r}; known scales: {sorted(SCALES)}") from None
 
 
+def default_workers() -> int | None:
+    """Worker count selected by ``REPRO_WORKERS`` (``None`` = serial)."""
+    value = os.environ.get("REPRO_WORKERS")
+    if value is None:
+        return None
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(f"REPRO_WORKERS={value!r} is not an integer") from None
+    if workers < 1:
+        raise ValueError(f"REPRO_WORKERS={workers} must be >= 1")
+    return workers
+
+
 def _shrink(records: np.ndarray, keep: float, psi: np.ndarray) -> np.ndarray:
     """Per-frame hard thresholding in basis ``psi``, keeping a fraction."""
     frames = records.reshape(records.shape[0], -1, CS_N_PHI)
@@ -144,6 +158,36 @@ def augment_training_set(
     ]
     augmented = np.vstack(variants)
     return augmented, np.tile(labels, len(variants))
+
+
+@lru_cache(maxsize=8)
+def _dct_basis_cached(n_phi: int) -> np.ndarray:
+    return dct_basis(n_phi)
+
+
+@dataclass(frozen=True)
+class FistaReconstructorFactory:
+    """Picklable reconstructor factory of the experiment harness.
+
+    A module-level frozen dataclass (not a closure) so the evaluator can
+    cross process boundaries in parallel sweeps; exposes a content
+    ``fingerprint`` for the on-disk evaluation cache.
+    """
+
+    n_iter: int
+    n_phi: int = CS_N_PHI
+    lam_rel: float = 0.002
+
+    def __call__(self, point: DesignPoint) -> Reconstructor:
+        return Reconstructor(
+            basis=_dct_basis_cached(self.n_phi),
+            method="fista",
+            lam_rel=self.lam_rel,
+            n_iter=self.n_iter,
+        )
+
+    def fingerprint(self) -> str:
+        return f"fista:dct{self.n_phi}:lam{self.lam_rel}:iters{self.n_iter}"
 
 
 @dataclass
@@ -184,12 +228,7 @@ def _harness_cached(scale_name: str) -> ExperimentHarness:
     detector = SpectralCombDetector(sample_rate=F_SAMPLE)
     detector.fit(train_records, train_labels)
 
-    basis = dct_basis(CS_N_PHI)
-
-    def reconstructor_factory(point: DesignPoint) -> Reconstructor:
-        return Reconstructor(
-            basis=basis, method="fista", lam_rel=0.002, n_iter=scale.fista_iters
-        )
+    reconstructor_factory = FistaReconstructorFactory(n_iter=scale.fista_iters)
 
     evaluator = FrontEndEvaluator(
         records=eval_records,
@@ -218,8 +257,14 @@ def make_harness(scale: str | ExperimentScale | None = None) -> ExperimentHarnes
     return _harness_cached(name)
 
 
-@lru_cache(maxsize=4)
-def _sweep_cached(scale_name: str) -> ExplorationResult:
+@lru_cache(maxsize=8)
+def _sweep_cached(
+    scale_name: str,
+    executor: str,
+    n_workers: int | None,
+    checkpoint: str | None,
+    cache_dir: str | None,
+) -> ExplorationResult:
     harness = make_harness(scale_name)
     scale = harness.scale
     space = paper_search_space(
@@ -228,12 +273,38 @@ def _sweep_cached(scale_name: str) -> ExplorationResult:
         cs_m_values=scale.cs_m_values,
     )
     explorer = DesignSpaceExplorer(harness.evaluator)
-    return explorer.explore(space, name=f"fig7-{scale_name}")
+    return explorer.explore(
+        space,
+        name=f"fig7-{scale_name}",
+        executor=executor,
+        n_workers=n_workers,
+        checkpoint=checkpoint,
+        cache=cache_dir,
+    )
 
 
-def run_search_space(scale: str | ExperimentScale | None = None) -> ExplorationResult:
-    """The Fig. 7 search-space sweep (cached per scale; Figs. 8-10 reuse it)."""
+def run_search_space(
+    scale: str | ExperimentScale | None = None,
+    *,
+    executor: str | None = None,
+    n_workers: int | None = None,
+    checkpoint: str | None = None,
+    cache_dir: str | None = None,
+) -> ExplorationResult:
+    """The Fig. 7 search-space sweep (cached per scale; Figs. 8-10 reuse it).
+
+    ``n_workers`` defaults to ``REPRO_WORKERS`` (serial when unset);
+    ``executor`` defaults to ``"process"`` whenever more than one worker
+    is requested.  Parallel runs are bit-identical to serial ones, so the
+    in-process per-scale cache stays valid across backends.  ``checkpoint``
+    (JSONL resume) and ``cache_dir`` (on-disk evaluation cache) are passed
+    through to :meth:`DesignSpaceExplorer.explore`.
+    """
     if scale is None:
         scale = active_scale()
     name = scale if isinstance(scale, str) else scale.name
-    return _sweep_cached(name)
+    if n_workers is None:
+        n_workers = default_workers()
+    if executor is None:
+        executor = "process" if (n_workers or 1) > 1 else "serial"
+    return _sweep_cached(name, executor, n_workers, checkpoint, cache_dir)

@@ -83,3 +83,32 @@ class TestCommands:
         report_out = capsys.readouterr().out
         assert "Fig. 7" in report_out
         assert "Fig. 10" in report_out
+
+
+class TestSweepParallelFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers is None
+        assert args.executor is None
+        assert args.checkpoint is None
+        assert args.cache_dir == ".repro-cache"
+        assert not args.no_cache
+
+    def test_parallel_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--workers", "4",
+                "--executor", "process",
+                "--checkpoint", "sweep.ckpt.jsonl",
+                "--no-cache",
+            ]
+        )
+        assert args.workers == 4
+        assert args.executor == "process"
+        assert args.checkpoint == "sweep.ckpt.jsonl"
+        assert args.no_cache
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--executor", "gpu"])

@@ -118,3 +118,33 @@ class TestDesignSpaceExplorer:
         # Power must fall and SNR must fall as noise rises.
         assert result[0].metrics["power_uw"] > result[1].metrics["power_uw"]
         assert result[0].metrics["snr_db"] > result[1].metrics["snr_db"]
+
+
+class TestSampleRateTolerance:
+    """Regression: the 2 % tolerance must be symmetric (relative to the
+    larger of the two rates), not divided by point.f_sample only."""
+
+    def test_two_percent_below_accepted(self):
+        # f_sample = 0.9802 * record rate: |diff| / max(rates) = 1.98 %,
+        # but |diff| / f_sample = 2.02 % -- the old asymmetric check
+        # (dividing by f_sample only) rejected this point.
+        records = small_corpus()
+        evaluator = FrontEndEvaluator(records, None, FS, seed=1)
+        point = DesignPoint(bw_in=256.0 * 0.9802)
+        evaluation = evaluator.evaluate(point)
+        assert "snr_db" in evaluation.metrics
+
+    def test_two_percent_above_accepted(self):
+        records = small_corpus()
+        evaluator = FrontEndEvaluator(records, None, FS, seed=1)
+        point = DesignPoint(bw_in=256.0 / 0.9802)
+        evaluation = evaluator.evaluate(point)
+        assert "snr_db" in evaluation.metrics
+
+    def test_three_percent_rejected_both_sides(self):
+        records = small_corpus()
+        evaluator = FrontEndEvaluator(records, None, FS, seed=1)
+        with pytest.raises(ValueError, match="resample"):
+            evaluator.evaluate(DesignPoint(bw_in=256.0 * 0.97))
+        with pytest.raises(ValueError, match="resample"):
+            evaluator.evaluate(DesignPoint(bw_in=256.0 / 0.97))

@@ -1,0 +1,328 @@
+"""Tests of the parallel/cached/resumable exploration backend."""
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.core.execution import (
+    EvaluationCache,
+    SweepCheckpoint,
+    chunk_pending,
+    evaluator_fingerprint,
+)
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.parameters import ParameterSpace
+from repro.core.results import Evaluation
+from repro.experiments.runner import SCALES
+from repro.experiments.table3 import paper_search_space
+from repro.power.technology import DesignPoint
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ToyEvaluator:
+    """Deterministic, picklable closed-form evaluator."""
+
+    master_seed: int = 7
+
+    def fingerprint(self) -> str:
+        return f"toy:{self.master_seed}"
+
+    def __call__(self, point) -> Evaluation:
+        seed = derive_seed(self.master_seed, point.describe())
+        return Evaluation(
+            point=point,
+            metrics={
+                "power_uw": (seed % 10_000) / 1_000.0,
+                "snr_db": (seed % 613) / 10.0,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class FailingEvaluator:
+    """Raises on a configured resolution, evaluates the rest."""
+
+    bad_bits: int = 7
+
+    def __call__(self, point) -> Evaluation:
+        if point.n_bits == self.bad_bits:
+            raise RuntimeError(f"cannot evaluate {point.n_bits}-bit points")
+        return ToyEvaluator()(point)
+
+
+@dataclass
+class CountingEvaluator:
+    """Counts serial in-process evaluations (for cache/resume tests)."""
+
+    calls: list = field(default_factory=list)
+
+    def fingerprint(self) -> str:
+        return "counting"
+
+    def __call__(self, point) -> Evaluation:
+        self.calls.append(point.describe())
+        return ToyEvaluator()(point)
+
+
+def smoke_grid():
+    scale = SCALES["smoke"]
+    return paper_search_space(
+        noise_values_uv=scale.noise_values_uv,
+        n_bits_values=scale.n_bits_values,
+        cs_m_values=scale.cs_m_values,
+    )
+
+
+def assert_sweeps_identical(expected, actual):
+    assert len(expected) == len(actual)
+    for left, right in zip(expected, actual):
+        assert left.point.describe() == right.point.describe()
+        assert left.metrics == right.metrics
+        assert left.error == right.error
+
+
+class TestParallelBitIdentity:
+    def test_process_matches_serial_on_fig7_grid(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        serial = explorer.explore(space, name="s")
+        parallel = explorer.explore(space, name="p", executor="process", n_workers=4)
+        assert_sweeps_identical(serial, parallel)
+
+    def test_thread_matches_serial(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        serial = explorer.explore(space)
+        threaded = explorer.explore(space, executor="thread", n_workers=3)
+        assert_sweeps_identical(serial, threaded)
+
+    def test_process_matches_serial_real_evaluator(self):
+        from repro.core.explorer import FrontEndEvaluator
+        from tests.test_explorer import FS, small_corpus
+
+        evaluator = FrontEndEvaluator(small_corpus(), None, FS, seed=3)
+        explorer = DesignSpaceExplorer(evaluator)
+        points = [
+            DesignPoint(n_bits=8, lna_noise_rms=2e-6),
+            DesignPoint(n_bits=8, lna_noise_rms=8e-6, use_cs=True, cs_m=150),
+        ]
+        serial = explorer.explore(points)
+        parallel = explorer.explore(points, executor="process", n_workers=2)
+        assert_sweeps_identical(serial, parallel)
+
+    def test_chunk_size_does_not_change_results(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        serial = explorer.explore(space)
+        chunked = explorer.explore(space, executor="process", n_workers=2, chunk_size=1)
+        assert_sweeps_identical(serial, chunked)
+
+    def test_unknown_executor_rejected(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        with pytest.raises(ValueError, match="executor"):
+            explorer.explore([DesignPoint()], executor="gpu")
+
+    def test_progress_called_for_every_point(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        seen = []
+        explorer.explore(
+            space, executor="process", n_workers=2,
+            progress=lambda i, e: seen.append(i),
+        )
+        assert sorted(seen) == list(range(space.size))
+
+
+class TestFaultIsolation:
+    def test_failed_point_recorded_not_raised(self):
+        explorer = DesignSpaceExplorer(FailingEvaluator(bad_bits=7))
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        result = explorer.explore(space)
+        assert len(result) == 3
+        assert result[1].error is not None
+        assert "cannot evaluate 7-bit" in result[1].error
+        assert result[1].metrics == {}
+        assert result[0].ok and result[2].ok
+        assert [e.point.n_bits for e in result.failures()] == [7]
+        assert [e.point.n_bits for e in result.successes()] == [6, 8]
+
+    def test_strict_reraises(self):
+        explorer = DesignSpaceExplorer(FailingEvaluator(bad_bits=7))
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        with pytest.raises(RuntimeError, match="7-bit"):
+            explorer.explore(space, strict=True)
+
+    def test_parallel_failures_isolated(self):
+        explorer = DesignSpaceExplorer(FailingEvaluator(bad_bits=6))
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        result = explorer.explore(space, executor="process", n_workers=2)
+        assert [e.point.n_bits for e in result.failures()] == [6]
+
+    def test_parallel_strict_reraises(self):
+        explorer = DesignSpaceExplorer(FailingEvaluator(bad_bits=8))
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        with pytest.raises(RuntimeError, match="8-bit"):
+            explorer.explore(space, executor="process", n_workers=2, strict=True)
+
+    def test_failed_points_excluded_from_analysis(self):
+        explorer = DesignSpaceExplorer(FailingEvaluator(bad_bits=7))
+        result = explorer.explore(ParameterSpace({"n_bits": [6, 7, 8]}))
+        best = result.best(minimize="power_uw")
+        assert best is not None and best.ok
+        from repro.core.pareto import Objective
+
+        front = result.pareto([Objective("power_uw"), Objective("snr_db", maximize=True)])
+        assert front and all(e.ok for e in front)
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_points(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        space = ParameterSpace({"n_bits": [6, 7, 8], "lna_noise_rms": [2e-6, 8e-6]})
+        first = CountingEvaluator()
+        full = DesignSpaceExplorer(first).explore(space, checkpoint=path)
+        assert len(first.calls) == 6
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 6
+
+        # Simulate an interruption: keep only the first 4 completed lines.
+        path.write_text("\n".join(lines[:4]) + "\n")
+        second = CountingEvaluator()
+        resumed = DesignSpaceExplorer(second).explore(space, checkpoint=path)
+        assert len(second.calls) == 2  # only the missing points
+        assert_sweeps_identical(full, resumed)
+        # The checkpoint is complete again after the resume.
+        assert len(path.read_text().strip().splitlines()) == 6
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        full = DesignSpaceExplorer(CountingEvaluator()).explore(space, checkpoint=path)
+        with open(path, "a") as handle:
+            handle.write('{"index": 99, "point": "trunc')  # killed mid-write
+        second = CountingEvaluator()
+        resumed = DesignSpaceExplorer(second).explore(space, checkpoint=path)
+        assert len(second.calls) == 0
+        assert_sweeps_identical(full, resumed)
+
+    def test_stale_checkpoint_from_other_grid_ignored(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        DesignSpaceExplorer(CountingEvaluator()).explore(
+            ParameterSpace({"n_bits": [6, 7]}), checkpoint=path
+        )
+        other = CountingEvaluator()
+        DesignSpaceExplorer(other).explore(
+            ParameterSpace({"lna_noise_rms": [2e-6, 8e-6]}), checkpoint=path
+        )
+        assert len(other.calls) == 2  # nothing restored from the stale file
+
+    def test_parallel_sweep_checkpoints(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        result = explorer.explore(space, executor="process", n_workers=2, checkpoint=path)
+        restored = SweepCheckpoint(path).load()
+        assert len(restored) == len(result)
+        for index, evaluation in restored.items():
+            assert evaluation.metrics == result[index].metrics
+
+    def test_checkpoint_restores_in_grid_order(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        first = explorer.explore(space, checkpoint=path)
+        # Shuffle the checkpoint lines: restore order must not matter.
+        lines = path.read_text().strip().splitlines()
+        path.write_text("\n".join(reversed(lines)) + "\n")
+        resumed = explorer.explore(space, checkpoint=path)
+        assert_sweeps_identical(first, resumed)
+
+
+class TestEvaluationCache:
+    def test_second_run_hits_cache(self, tmp_path):
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        first = CountingEvaluator()
+        run1 = DesignSpaceExplorer(first).explore(space, cache=tmp_path / "cache")
+        assert len(first.calls) == 3
+        second = CountingEvaluator()
+        run2 = DesignSpaceExplorer(second).explore(space, cache=tmp_path / "cache")
+        assert len(second.calls) == 0
+        assert_sweeps_identical(run1, run2)
+
+    def test_distinct_fingerprints_do_not_collide(self, tmp_path):
+        space = ParameterSpace({"n_bits": [6, 7]})
+        cache = EvaluationCache(tmp_path / "cache")
+        DesignSpaceExplorer(ToyEvaluator(master_seed=1)).explore(space, cache=cache)
+        other = DesignSpaceExplorer(ToyEvaluator(master_seed=2)).explore(space, cache=cache)
+        fresh = DesignSpaceExplorer(ToyEvaluator(master_seed=2)).explore(space)
+        assert_sweeps_identical(fresh, other)
+
+    def test_failures_not_cached(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache")
+        space = ParameterSpace({"n_bits": [6, 7, 8]})
+        DesignSpaceExplorer(FailingEvaluator(bad_bits=7)).explore(space, cache=cache)
+        assert len(cache) == 2  # only the two successes persisted
+        recovered = DesignSpaceExplorer(ToyEvaluator()).explore(space, cache=cache)
+        assert not recovered.failures()  # the failed point was retried
+
+    def test_corrupt_cache_entry_ignored(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        space = ParameterSpace({"n_bits": [6, 7]})
+        DesignSpaceExplorer(CountingEvaluator()).explore(space, cache=cache_dir)
+        for entry in cache_dir.glob("*.json"):
+            entry.write_text("{not json")
+        retry = CountingEvaluator()
+        DesignSpaceExplorer(retry).explore(space, cache=cache_dir)
+        assert len(retry.calls) == 2
+
+    def test_cache_round_trips_metrics_exactly(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache")
+        point = DesignPoint(n_bits=8)
+        evaluation = Evaluation(
+            point=point, metrics={"power_uw": 1.2345678901234567e-3}
+        )
+        cache.put("fp", point, evaluation)
+        loaded = cache.get("fp", point)
+        assert loaded.metrics == evaluation.metrics
+
+    def test_fingerprint_fallback_is_class_name(self):
+        class Anonymous:
+            def __call__(self, point):  # pragma: no cover - never invoked
+                raise NotImplementedError
+
+        assert "Anonymous" in evaluator_fingerprint(Anonymous())
+
+
+class TestHelpers:
+    def test_chunk_pending_covers_everything(self):
+        pending = [(i, DesignPoint()) for i in range(10)]
+        chunks = chunk_pending(pending, n_workers=3)
+        flattened = [pair for chunk in chunks for pair in chunk]
+        assert flattened == pending
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            chunk_pending([(0, DesignPoint())], n_workers=1, chunk_size=0)
+
+    def test_checkpoint_line_format(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.append(0, ToyEvaluator()(DesignPoint()))
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"index", "point", "evaluation"}
+
+    def test_front_end_evaluator_fingerprint_tracks_corpus(self):
+        from repro.core.explorer import FrontEndEvaluator
+        from tests.test_explorer import FS, small_corpus
+
+        records = small_corpus()
+        base = FrontEndEvaluator(records, None, FS, seed=1).fingerprint()
+        same = FrontEndEvaluator(records.copy(), None, FS, seed=1).fingerprint()
+        other_seed = FrontEndEvaluator(records, None, FS, seed=2).fingerprint()
+        other_corpus = FrontEndEvaluator(records * 1.0001, None, FS, seed=1).fingerprint()
+        assert base == same
+        assert base != other_seed
+        assert base != other_corpus

@@ -203,3 +203,90 @@ class TestCsvExport:
         result.to_csv(str(path), metrics=["power_uw"])
         header = path.read_text().splitlines()[0]
         assert header == "point,power_uw"
+
+
+class TestHeterogeneousSweeps:
+    """Regression: mixed metric sets (e.g. baseline/CS with and without
+    accuracy) must not raise from values/as_table, matching to_csv."""
+
+    def make_mixed(self):
+        full = ev(1, 0.9)
+        bare = Evaluation(point=DesignPoint(), metrics={"power_uw": 2.0})
+        return ExplorationResult([full, bare], name="mixed")
+
+    def test_values_renders_missing_as_nan(self):
+        import math
+
+        values = self.make_mixed().values("accuracy")
+        assert values[0] == 0.9
+        assert math.isnan(values[1])
+
+    def test_as_table_renders_missing_as_blank(self):
+        table = self.make_mixed().as_table(["power_uw", "accuracy"])
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert "0.9" in lines[1]
+        assert lines[2].rstrip().endswith("2")  # power present, accuracy blank
+
+    def test_pareto_skips_items_missing_objectives(self):
+        front = self.make_mixed().pareto(OBJ)
+        assert [e.metrics["power_uw"] for e in front] == [1]
+
+    def test_best_skips_items_missing_metric(self):
+        best = self.make_mixed().best(minimize="accuracy")
+        assert best.metrics["power_uw"] == 1
+
+
+class TestVectorisedParetoParity:
+    """The numpy non-dominated filter must match the pairwise definition."""
+
+    def brute_force(self, evals, objectives):
+        front = [
+            candidate
+            for candidate in evals
+            if not any(
+                dominates(other.metrics, candidate.metrics, objectives)
+                for other in evals
+                if other is not candidate
+            )
+        ]
+        primary = objectives[0]
+        front.sort(key=lambda e: e.metrics[primary.metric], reverse=primary.maximize)
+        return front
+
+    def test_matches_brute_force_on_random_clouds(self):
+        import numpy as np
+
+        rng = np.random.default_rng(42)
+        for trial in range(5):
+            evals = [
+                ev(power, quality, area=area)
+                for power, quality, area in rng.uniform(0, 10, size=(60, 3)).round(1)
+            ]
+            for objectives in (
+                OBJ,
+                (Objective("power_uw"),),
+                (
+                    Objective("power_uw"),
+                    Objective("accuracy", maximize=True),
+                    Objective("area_units"),
+                ),
+            ):
+                expected = self.brute_force(evals, objectives)
+                actual = pareto_front(evals, objectives)
+                assert actual == expected
+
+    def test_rounded_duplicates_all_kept(self):
+        evals = [ev(1, 0.9), ev(1, 0.9), ev(1, 0.9), ev(2, 0.8)]
+        front = pareto_front(evals, OBJ)
+        assert len(front) == 3
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            pareto_front([ev(1, 0.9)], ())
+
+    def test_large_front_crosses_block_boundary(self):
+        # >256 mutually non-dominated points exercises the blocked filter.
+        evals = [ev(float(i), float(i)) for i in range(600)]
+        front = pareto_front(evals, OBJ)
+        assert len(front) == 600

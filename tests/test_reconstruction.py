@@ -241,3 +241,51 @@ class TestIht:
         rec = Reconstructor(basis=None, method="iht", sparsity=3, n_iter=300)
         x_hat = rec.recover(a, y)
         assert np.sum((x - x_hat) ** 2) / np.sum(x**2) < 1e-3
+
+
+class TestEffectiveDictionaryCache:
+    """Regression: the A = Phi_eff @ Psi cache must key on content, not
+    id() -- identity does not survive pickling into pool workers."""
+
+    def problem(self):
+        rng = np.random.default_rng(3)
+        phi = rng.normal(size=(16, 32))
+        basis = np.linalg.qr(rng.normal(size=(32, 32)))[0]
+        y = rng.normal(size=(4, 16))
+        return phi, basis, y
+
+    def test_equal_content_hits_cache(self):
+        phi, basis, y = self.problem()
+        recon = Reconstructor(basis=basis, method="fista", n_iter=20)
+        first = recon.recover(phi, y)
+        cached_a = next(iter(recon._cache.values()))
+        second = recon.recover(phi.copy(), y)  # different object, same bytes
+        assert next(iter(recon._cache.values())) is cached_a  # no recompute
+        np.testing.assert_array_equal(first, second)
+
+    def test_changed_content_recomputed(self):
+        phi, basis, y = self.problem()
+        recon = Reconstructor(basis=basis, method="fista", n_iter=20)
+        recon.recover(phi, y)
+        key_before = next(iter(recon._cache))
+        recon.recover(phi * 2.0, y)
+        assert next(iter(recon._cache)) != key_before
+
+    def test_cache_survives_pickling(self):
+        import pickle
+
+        phi, basis, y = self.problem()
+        recon = Reconstructor(basis=basis, method="fista", n_iter=20)
+        expected = recon.recover(phi, y)
+        clone = pickle.loads(pickle.dumps(recon))
+        np.testing.assert_array_equal(clone.recover(phi, y), expected)
+        # The unpickled copy's cache still matches by content.
+        assert next(iter(clone._cache)) == next(iter(recon._cache))
+
+    def test_non_contiguous_phi_handled(self):
+        phi, basis, y = self.problem()
+        recon = Reconstructor(basis=basis, method="fista", n_iter=20)
+        strided = np.asfortranarray(phi)
+        np.testing.assert_allclose(
+            recon.recover(strided, y), recon.recover(phi, y)
+        )

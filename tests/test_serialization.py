@@ -112,3 +112,21 @@ class TestResultFiles:
         payload = json.loads(path.read_text())
         assert payload["format_version"] == 1
         assert len(payload["evaluations"]) == 2
+
+
+class TestFailedEvaluationRoundTrip:
+    def test_error_field_round_trips(self):
+        from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
+
+        failed = Evaluation(
+            point=DesignPoint(n_bits=6), metrics={}, error="RuntimeError: boom"
+        )
+        clone = evaluation_from_dict(evaluation_to_dict(failed))
+        assert clone.error == "RuntimeError: boom"
+        assert not clone.ok
+
+    def test_ok_evaluation_has_no_error_key(self):
+        from repro.core.serialization import evaluation_to_dict
+
+        payload = evaluation_to_dict(Evaluation(point=DesignPoint(), metrics={"a": 1.0}))
+        assert "error" not in payload
