@@ -97,3 +97,51 @@ def test_parallel_overhead_report(benchmark):
         iterations=1,
     )
     assert len(result) == space.size
+
+
+#: Disabled-telemetry overhead tolerance, seconds per design point.  The
+#: no-op hooks cost well under a microsecond each; the bound is generous
+#: only to absorb scheduler noise on loaded CI runners.
+MAX_DISABLED_TELEMETRY_OVERHEAD_S = 0.002
+
+
+def test_disabled_telemetry_adds_no_measurable_overhead():
+    """An unprofiled sweep must not pay for the instrumentation hooks.
+
+    Compares the explorer's per-point wall time (zero-delay evaluator, so
+    pure machinery) against a bare evaluation loop; the difference bounds
+    everything `explore` adds on top -- including every disabled-telemetry
+    hook on the hot path.
+    """
+    evaluator = DelayedToyEvaluator(delay_s=0.0)
+    explorer = DesignSpaceExplorer(evaluator)
+    space = small_grid()
+    points = list(space.grid())
+
+    # Warm-up: JIT-free Python, but populates caches (describe(), imports).
+    explorer.explore(space)
+    for point in points:
+        evaluator(point)
+
+    n_rounds = 5
+    start = time.perf_counter()
+    for _ in range(n_rounds):
+        for point in points:
+            evaluator(point)
+    bare_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(n_rounds):
+        explorer.explore(space)
+    explored_s = time.perf_counter() - start
+
+    per_point = (explored_s - bare_s) / (n_rounds * space.size)
+    print(
+        f"\nexplore machinery overhead: {per_point * 1e6:.1f} us/point "
+        f"(bare {bare_s:.3f} s, explore {explored_s:.3f} s, "
+        f"{n_rounds} x {space.size} points)"
+    )
+    assert per_point < MAX_DISABLED_TELEMETRY_OVERHEAD_S, (
+        f"explore adds {per_point * 1e3:.3f} ms/point with telemetry disabled "
+        f"(bound: {MAX_DISABLED_TELEMETRY_OVERHEAD_S * 1e3:.1f} ms)"
+    )

@@ -21,6 +21,10 @@ Large sweeps parallelise, checkpoint and cache:
 Interrupt it mid-sweep and re-run: completed points are restored from the
 JSONL checkpoint (and any earlier run's on-disk cache) instead of being
 re-simulated.
+
+Add ``--profile`` for the telemetry summary (per-block wall time, solver
+iterations, per-point latency) and ``--no-progress`` to silence the live
+ETA line.
 """
 
 import argparse
@@ -44,6 +48,10 @@ def parse_args() -> argparse.Namespace:
                         help="JSONL checkpoint path (re-run resumes)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk evaluation cache directory")
+    parser.add_argument("--profile", action="store_true",
+                        help="collect telemetry and print its summary at the end")
+    parser.add_argument("--no-progress", action="store_true",
+                        help="suppress the live per-point progress line")
     return parser.parse_args()
 
 
@@ -56,14 +64,26 @@ def main() -> None:
         f"N bits {scale.n_bits_values}, M {scale.cs_m_values}"
     )
 
-    print("\nsweeping the search space (baseline + CS grids)...")
-    sweep = run_search_space(
-        scale.name,
-        executor=args.executor,
-        n_workers=args.workers,
-        checkpoint=args.checkpoint,
-        cache_dir=args.cache_dir,
+    from repro.cli import _progress_printer
+    from repro.core import Telemetry, activate
+    from repro.experiments import search_space_for
+
+    telemetry = Telemetry() if args.profile else None
+    progress = None if args.no_progress else _progress_printer(
+        search_space_for(scale.name).size
     )
+
+    print("\nsweeping the search space (baseline + CS grids)...")
+    with activate(telemetry):
+        sweep = run_search_space(
+            scale.name,
+            executor=args.executor,
+            n_workers=args.workers,
+            checkpoint=args.checkpoint,
+            cache_dir=args.cache_dir,
+            progress=progress,
+            telemetry=telemetry,
+        )
     print(f"evaluated {len(sweep)} design points")
     if sweep.failures():
         for failed in sweep.failures():
@@ -106,6 +126,10 @@ def main() -> None:
         "LNA (higher tolerable noise floor); the CS encoder's digital power "
         "is a modest increase."
     )
+
+    if telemetry is not None:
+        print()
+        print(telemetry.summary())
 
 
 if __name__ == "__main__":

@@ -13,15 +13,58 @@ Gives the paper's workflow a shell entry point:
 
 Every command prints plain text (ASCII charts included), suitable for
 logs and CI artefacts.
+
+Observability flags (shared by every command):
+
+* ``--profile`` activates a :class:`~repro.core.telemetry.Telemetry`
+  sink for the whole command and prints its summary tables at the end;
+  for ``sweep`` it also writes a :class:`~repro.core.telemetry.RunManifest`
+  JSON next to the sweep outputs.  Result values are identical with and
+  without profiling.
+* ``--log-level`` configures stdlib :mod:`logging` for the run.
+* ``--no-progress`` suppresses the live per-point progress/ETA line that
+  ``sweep`` prints to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.util.constants import MICRO
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _progress_printer(total: int, stream=None):
+    """Live ``[done/total] ... eta`` line, rewritten in place on stderr.
+
+    Completion order drives the line (parallel sweeps finish out of grid
+    order); the ETA extrapolates the mean per-point rate so far.
+    """
+    if stream is None:
+        stream = sys.stderr
+    state = {"done": 0, "start": time.perf_counter()}
+
+    def callback(index, evaluation) -> None:
+        del index
+        state["done"] += 1
+        done = state["done"]
+        elapsed = time.perf_counter() - state["start"]
+        eta = (total - done) * elapsed / done if done else float("inf")
+        status = "FAIL" if evaluation.error is not None else "ok"
+        stream.write(
+            f"\r[{done}/{total}] {100.0 * done / total:5.1f}%  "
+            f"elapsed {elapsed:6.1f}s  eta {eta:6.1f}s  last: {status}   "
+        )
+        if done == total:
+            stream.write("\n")
+        stream.flush()
+
+    return callback
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -58,15 +101,28 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.serialization import save_result
-    from repro.experiments import analyze_fig7, render_front, run_search_space
+    from repro.core.telemetry import get_active
+    from repro.experiments import (
+        analyze_fig7,
+        build_run_manifest,
+        render_front,
+        run_search_space,
+        search_space_for,
+    )
     from repro.util.textplot import pareto_chart
 
+    telemetry = get_active()
+    progress = (
+        None if args.no_progress else _progress_printer(search_space_for(args.scale).size)
+    )
     sweep = run_search_space(
         args.scale,
         executor=args.executor,
         n_workers=args.workers,
         checkpoint=args.checkpoint,
         cache_dir=None if args.no_cache else args.cache_dir,
+        progress=progress,
+        telemetry=telemetry if telemetry.enabled else None,
     )
     full_sweep = sweep
     failures = sweep.failures()
@@ -99,6 +155,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         full_sweep.to_csv(args.csv)
         print(f"saved CSV to {args.csv}")
+    if telemetry.enabled:
+        from pathlib import Path
+
+        if args.manifest:
+            manifest_path = Path(args.manifest)
+        elif args.save:
+            # "Next to the sweep outputs": sweep.json -> sweep.manifest.json.
+            manifest_path = Path(args.save).with_suffix(".manifest.json")
+        else:
+            manifest_path = Path("repro-manifest.json")
+        workers = args.workers
+        executor = args.executor or ("process" if (workers or 1) > 1 else "serial")
+        manifest = build_run_manifest(
+            full_sweep,
+            telemetry,
+            args.scale,
+            executor=executor,
+            n_workers=workers,
+            command="sweep",
+        )
+        manifest.save(manifest_path)
+        print(f"wrote run manifest to {manifest_path}")
     return 0
 
 
@@ -153,12 +231,38 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="EffiCSense reproduction: pathfinding experiments from the shell.",
     )
+    # Observability trio, shared by every subcommand (so it can be given
+    # after the command name: ``repro sweep --profile``).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect telemetry (timings, counters) and print its summary; "
+        "sweep also writes a RunManifest JSON",
+    )
+    common.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default=None,
+        help="configure stdlib logging for the run",
+    )
+    common.add_argument(
+        "--no-progress",
+        action="store_true",
+        help="suppress the live progress/ETA line on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("tables", help="print Tables I-III").set_defaults(func=_cmd_tables)
-    sub.add_parser("fig4", help="run the Fig. 4 noise sweep").set_defaults(func=_cmd_fig4)
+    sub.add_parser("tables", help="print Tables I-III", parents=[common]).set_defaults(
+        func=_cmd_tables
+    )
+    sub.add_parser(
+        "fig4", help="run the Fig. 4 noise sweep", parents=[common]
+    ).set_defaults(func=_cmd_fig4)
 
-    sweep = sub.add_parser("sweep", help="run the Fig. 7 search-space sweep")
+    sweep = sub.add_parser(
+        "sweep", help="run the Fig. 7 search-space sweep", parents=[common]
+    )
     sweep.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
     sweep.add_argument("--min-accuracy", type=float, default=0.9)
     sweep.add_argument("--save", help="write the raw sweep as JSON")
@@ -187,14 +291,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk evaluation cache"
     )
+    sweep.add_argument(
+        "--manifest",
+        help="RunManifest JSON path (default: next to --save, else "
+        "repro-manifest.json; written when profiling is on)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
-    report = sub.add_parser("report", help="re-analyse a saved sweep")
+    report = sub.add_parser("report", help="re-analyse a saved sweep", parents=[common])
     report.add_argument("sweep_file")
     report.add_argument("--min-accuracy", type=float, default=0.98)
     report.set_defaults(func=_cmd_report)
 
-    budget = sub.add_parser("budget", help="closed-form noise budget of a design point")
+    budget = sub.add_parser(
+        "budget", help="closed-form noise budget of a design point", parents=[common]
+    )
     budget.add_argument("--bits", type=int, default=8)
     budget.add_argument("--noise-uv", type=float, default=2.0)
     budget.add_argument("--signal-uv", type=float, default=700.0)
@@ -206,8 +317,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.core.telemetry import Telemetry, activate
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        )
+    # --manifest implies profiling: the manifest is the profile artifact.
+    if args.profile or getattr(args, "manifest", None):
+        telemetry = Telemetry(logger=logging.getLogger("repro.telemetry"))
+        with activate(telemetry):
+            code = args.func(args)
+        print()
+        print(telemetry.summary())
+        return code
     return args.func(args)
 
 

@@ -29,6 +29,15 @@ from repro.core.serialization import (
 from repro.core.signal import DOMAINS, Signal
 from repro.core.simulator import SimulationResult, Simulator
 from repro.core.system import SystemGraph, SystemModel
+from repro.core.telemetry import (
+    NULL,
+    NullTelemetry,
+    RunManifest,
+    Telemetry,
+    activate,
+    get_active,
+    set_active,
+)
 
 __all__ = [
     "Block",
@@ -41,7 +50,11 @@ __all__ = [
     "FrontEndEvaluator",
     "FunctionBlock",
     "Goal",
+    "NULL",
+    "NullTelemetry",
     "Objective",
+    "RunManifest",
+    "Telemetry",
     "ParameterSpace",
     "PassthroughBlock",
     "SWEEPABLE_FIELDS",
@@ -54,6 +67,9 @@ __all__ = [
     "Signal",
     "WeightedGoal",
     "accuracy_power_goal",
+    "activate",
+    "get_active",
+    "set_active",
     "area_constrained_goal",
     "best_feasible",
     "design_point_from_dict",

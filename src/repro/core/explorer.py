@@ -19,8 +19,10 @@ Two layers:
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from functools import partial
@@ -36,9 +38,10 @@ from repro.core.execution import (
     _init_worker,
     chunk_pending,
     evaluate_chunk_with,
-    evaluate_one,
+    evaluate_one_timed,
     evaluator_fingerprint,
 )
+from repro.core.telemetry import Telemetry, get_active
 from repro.core.parameters import CompositeSpace, ParameterSpace
 from repro.core.results import Evaluation, ExplorationResult
 from repro.core.signal import Signal
@@ -52,6 +55,8 @@ from repro.power.technology import DesignPoint
 from repro.util.constants import MICRO
 from repro.util.rng import derive_seed
 from repro.util.validation import check_positive
+
+log = logging.getLogger("repro.explorer")
 
 
 class FrontEndEvaluator:
@@ -245,6 +250,7 @@ class DesignSpaceExplorer:
         cache: EvaluationCache | str | Path | None = None,
         checkpoint: str | Path | None = None,
         strict: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> ExplorationResult:
         """Evaluate every point of ``space``.
 
@@ -276,6 +282,18 @@ class DesignSpaceExplorer:
             When ``False`` (default) a raising design point is recorded as
             a failed :class:`Evaluation` (``error`` set, empty metrics)
             instead of killing the sweep; ``True`` re-raises immediately.
+            A raising ``progress`` callback is isolated the same way
+            (logged and skipped) so a broken logger cannot kill a sweep
+            or poison the parallel completion loop.
+        telemetry:
+            :class:`~repro.core.telemetry.Telemetry` sink for sweep
+            statistics (per-point latency, cache hits/misses, checkpoint
+            restores, failures) and live ``explore.progress`` events with
+            ETA.  Defaults to the ambient sink
+            (:func:`repro.core.telemetry.get_active`), which is a no-op
+            unless one was activated.  Progress events follow *completion*
+            order under parallel executors; aggregation (the returned
+            result, latency stats) is always in grid order.
         """
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
@@ -301,42 +319,96 @@ class DesignSpaceExplorer:
             expected = {i: p.describe() for i, p in enumerate(points)}
             restored = ckpt.load(expected)
 
-        results: list[Evaluation | None] = [None] * len(points)
+        tel = telemetry if telemetry is not None else get_active()
+        total = len(points)
+        start_time = time.perf_counter()
+        completed = 0
+
+        results: list[Evaluation | None] = [None] * total
         pending: list[tuple[int, DesignPoint]] = []
 
-        def finalize(index: int, evaluation: Evaluation, record: bool = True) -> None:
+        def finalize(
+            index: int,
+            evaluation: Evaluation,
+            record: bool = True,
+            elapsed: float | None = None,
+        ) -> None:
+            nonlocal completed
             results[index] = evaluation
+            completed += 1
             if record and ckpt is not None:
                 ckpt.append(index, evaluation)
             if record and cache_store is not None:
                 cache_store.put(fingerprint, points[index], evaluation)
+            if tel.enabled:
+                if elapsed is not None:
+                    tel.record("explore.point_seconds", elapsed)
+                if evaluation.error is not None:
+                    tel.count("explore.failures")
+                run_elapsed = time.perf_counter() - start_time
+                rate = completed / run_elapsed if run_elapsed > 0 else 0.0
+                tel.event(
+                    "explore.progress",
+                    done=completed,
+                    total=total,
+                    elapsed_s=run_elapsed,
+                    eta_s=(total - completed) / rate if rate > 0 else None,
+                )
             if progress is not None:
-                progress(index, evaluation)
+                # The callback is user code observing the sweep; isolate
+                # its failures like point failures, otherwise one raising
+                # logger kills an hours-long (possibly parallel) sweep.
+                try:
+                    progress(index, evaluation)
+                except Exception as error:
+                    if strict:
+                        raise
+                    tel.count("explore.progress_errors")
+                    log.warning(
+                        "progress callback raised for point %d (%s): %s",
+                        index,
+                        evaluation.point.describe(),
+                        error,
+                        exc_info=True,
+                    )
 
         try:
-            for index, point in enumerate(points):
-                evaluation = restored.get(index)
-                if evaluation is not None:
-                    finalize(index, evaluation, record=False)
-                    continue
-                if cache_store is not None:
-                    evaluation = cache_store.get(fingerprint, point)
+            with tel.span("explore.total"):
+                tel.count("explore.sweeps")
+                mirrored: list[tuple[int, Evaluation]] = []
+                for index, point in enumerate(points):
+                    evaluation = restored.get(index)
                     if evaluation is not None:
-                        # Mirror the hit into the checkpoint so resume
-                        # stays complete even without the cache directory.
-                        if ckpt is not None:
-                            ckpt.append(index, evaluation)
+                        tel.count("explore.checkpoint_restored")
                         finalize(index, evaluation, record=False)
                         continue
-                pending.append((index, point))
+                    if cache_store is not None:
+                        evaluation = cache_store.get(fingerprint, point)
+                        if evaluation is not None:
+                            tel.count("explore.cache_hits")
+                            # Mirror the hit into the checkpoint so resume
+                            # stays complete even without the cache
+                            # directory; batched below into ONE durable
+                            # write instead of one fsync per hit.
+                            if ckpt is not None:
+                                mirrored.append((index, evaluation))
+                            finalize(index, evaluation, record=False)
+                            continue
+                        tel.count("explore.cache_misses")
+                    pending.append((index, point))
+                if mirrored and ckpt is not None:
+                    ckpt.append_many(mirrored)
 
-            if pending and executor == "serial":
-                for index, point in pending:
-                    finalize(index, evaluate_one(self.evaluator, point, strict))
-            elif pending:
-                self._run_parallel(
-                    pending, executor, n_workers, chunk_size, strict, finalize
-                )
+                if pending and executor == "serial":
+                    for index, point in pending:
+                        evaluation, elapsed = evaluate_one_timed(
+                            self.evaluator, point, strict
+                        )
+                        finalize(index, evaluation, elapsed=elapsed)
+                elif pending:
+                    self._run_parallel(
+                        pending, executor, n_workers, chunk_size, strict, finalize
+                    )
         finally:
             if ckpt is not None:
                 ckpt.close()
@@ -349,7 +421,7 @@ class DesignSpaceExplorer:
         n_workers: int | None,
         chunk_size: int | None,
         strict: bool,
-        finalize: Callable[[int, Evaluation], None],
+        finalize: Callable[..., None],
     ) -> None:
         """Fan ``pending`` out over a pool, finalising in completion order."""
         workers = n_workers or os.cpu_count() or 1
@@ -371,8 +443,8 @@ class DesignSpaceExplorer:
                 while futures:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        for index, evaluation in future.result():
-                            finalize(index, evaluation)
+                        for index, evaluation, elapsed in future.result():
+                            finalize(index, evaluation, elapsed=elapsed)
             except BaseException:
                 for future in futures:
                     future.cancel()

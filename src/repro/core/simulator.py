@@ -9,11 +9,13 @@ directly (paper Section II, Step 5).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.block import SimulationContext
 from repro.core.signal import Signal
 from repro.core.system import SystemModel
+from repro.core.telemetry import get_active
 from repro.power.models import PowerReport
 from repro.power.technology import DesignPoint
 
@@ -78,11 +80,28 @@ class Simulator:
         """Simulate ``signal`` through the chain.
 
         Blocks are reset first, so repeated calls replay identically.
+
+        When an ambient :class:`~repro.core.telemetry.Telemetry` is
+        active, the run records per-block wall time (``block.<name>``
+        spans, via :meth:`SystemModel.run`), total run time and the
+        achieved samples/second throughput; disabled telemetry reduces
+        every hook to a no-op.
         """
+        telemetry = get_active()
+        start = time.perf_counter()
         self.system.reset()
         ctx = SimulationContext(seed=self.seed, design_point=self.design_point)
-        output = self.system.run(signal, ctx, record_taps=record_taps)
+        output = self.system.run(
+            signal, ctx, record_taps=record_taps, telemetry=telemetry
+        )
         power = self.collect_power()
+        if telemetry.enabled:
+            elapsed = time.perf_counter() - start
+            telemetry.count("simulate.runs")
+            telemetry.count("simulate.samples", signal.n_samples)
+            telemetry.record("simulate.seconds", elapsed)
+            if elapsed > 0:
+                telemetry.record("simulate.samples_per_s", signal.n_samples / elapsed)
         return SimulationResult(
             output=output,
             taps=ctx.taps if record_taps else {},

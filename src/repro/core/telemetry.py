@@ -1,0 +1,410 @@
+"""Observability: counters, wall-time spans, structured events, run manifests.
+
+The sweep engine is the framework's hot path, and PR 1 made it parallel,
+cached and resumable -- which also made it opaque: a five-minute ``fig7``
+run could be simulating, waiting on a pool, or replaying a checkpoint and
+the user cannot tell which.  This module is the single place the engine
+reports what it is doing:
+
+* :class:`Telemetry` -- a lightweight, thread-safe sink for **counters**
+  (cache hits, failures), **spans** (wall-time of named code regions via
+  ``time.perf_counter``), **value stats** (per-point latency, solver
+  iterations) and bounded **structured events** (live progress with ETA).
+  ``summary()`` renders the whole state as fixed-width text tables.
+* :class:`NullTelemetry` / :data:`NULL` -- the disabled implementation.
+  Every hook is an empty method (and :meth:`NullTelemetry.span` returns a
+  shared no-op context manager), so instrumented code pays nothing
+  measurable when telemetry is off.  This is the ambient default.
+* **Ambient plumbing** -- :func:`get_active`, :func:`set_active` and the
+  :func:`activate` context manager install one telemetry object for a
+  region of code.  Deep layers (:class:`~repro.core.simulator.Simulator`,
+  the FISTA solvers) report to the ambient sink without threading an
+  argument through every call.  Worker *processes* start with the
+  disabled default, so parallel sweeps aggregate per-point timings on the
+  driver side instead (the executors return them).
+* :class:`RunManifest` -- the JSON artifact a profiled run writes next to
+  its outputs: seed, scale preset, grid size, per-phase timings, per-block
+  power *and* time breakdowns, sweep statistics and the ETA history.
+
+Everything here is stdlib-only (``time``, ``threading``, ``json``,
+``logging``) by design: telemetry must never add a dependency, and this
+module must stay importable from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import platform
+import sys
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+log = logging.getLogger("repro.telemetry")
+
+#: Version stamp of the :class:`RunManifest` JSON schema.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Stats:
+    """Streaming aggregate of one named quantity (count/total/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (nan before the first one)."""
+        return self.total / self.count if self.count else math.nan
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (infinities of an empty aggregate become None)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": None if not self.count else self.mean,
+            "min": None if not self.count else self.min,
+            "max": None if not self.count else self.max,
+        }
+
+
+class _Span:
+    """Context manager timing one region into a :class:`Telemetry`."""
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str):
+        self._telemetry = telemetry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._telemetry._record_span(self._name, time.perf_counter() - self._start)
+
+
+class _NullSpan:
+    """Shared do-nothing span of the disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Thread-safe sink for counters, spans, value stats and events.
+
+    Thread safety matters because the explorer's *thread* executor runs
+    instrumented evaluators concurrently against the ambient telemetry of
+    the driver; a plain dict update would race.  All mutation happens
+    under one lock; reads used for reporting take the same lock and copy.
+
+    Parameters
+    ----------
+    logger:
+        Optional stdlib logger; every :meth:`event` is mirrored to it at
+        DEBUG level, which is the bridge between structured telemetry and
+        ordinary ``--log-level debug`` console logging.
+    max_events:
+        Bound on the retained event list.  Once full, further events are
+        counted (``events_dropped`` counter) but not stored, so unbounded
+        sweeps cannot grow memory without limit.
+    """
+
+    enabled = True
+
+    def __init__(self, logger: logging.Logger | None = None, max_events: int = 10_000):
+        self._lock = threading.Lock()
+        self._logger = logger
+        self.max_events = int(max_events)
+        self.counters: dict[str, float] = {}
+        self.spans: dict[str, Stats] = {}
+        self.values: dict[str, Stats] = {}
+        self.events: list[dict] = []
+
+    # --- recording hooks ------------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record(self, name: str, value: float) -> None:
+        """Fold one observation of quantity ``name`` into its stats."""
+        with self._lock:
+            stats = self.values.get(name)
+            if stats is None:
+                stats = self.values[name] = Stats()
+            stats.add(value)
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing a region: ``with tel.span("solve"): ...``."""
+        return _Span(self, name)
+
+    def _record_span(self, name: str, elapsed_s: float) -> None:
+        with self._lock:
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = self.spans[name] = Stats()
+            stats.add(elapsed_s)
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one structured event (bounded; see ``max_events``)."""
+        payload = {"kind": kind, "t_unix": time.time(), **fields}
+        with self._lock:
+            if len(self.events) < self.max_events:
+                self.events.append(payload)
+            else:
+                self.counters["telemetry.events_dropped"] = (
+                    self.counters.get("telemetry.events_dropped", 0) + 1
+                )
+        if self._logger is not None:
+            self._logger.debug("%s %s", kind, fields)
+
+    # --- reporting ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of the whole telemetry state."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "spans": {name: s.to_dict() for name, s in self.spans.items()},
+                "values": {name: s.to_dict() for name, s in self.values.items()},
+                "events": [dict(e) for e in self.events],
+            }
+
+    def timers(self, prefix: str = "") -> dict[str, float]:
+        """Total wall seconds per span whose name starts with ``prefix``.
+
+        The prefix is stripped from the returned keys, so
+        ``timers("block.")`` maps plain block names to seconds.
+        """
+        with self._lock:
+            return {
+                name[len(prefix):]: stats.total
+                for name, stats in self.spans.items()
+                if name.startswith(prefix)
+            }
+
+    def summary(self) -> str:
+        """Fixed-width text tables of counters, spans and value stats.
+
+        Follows the repo's plain-text reporting conventions (compare
+        ``ExplorationResult.as_table`` and :mod:`repro.util.textplot`):
+        stable ordering, no colour, suitable for logs and CI artefacts.
+        """
+        with self._lock:
+            counters = dict(self.counters)
+            spans = {k: v for k, v in self.spans.items()}
+            values = {k: v for k, v in self.values.items()}
+            n_events = len(self.events)
+        lines: list[str] = ["== telemetry summary =="]
+        if counters:
+            lines.append("")
+            lines.append(f"{'counter':<40}{'value':>14}")
+            for name in sorted(counters):
+                lines.append(f"{name:<40}{counters[name]:>14g}")
+        if spans:
+            lines.append("")
+            lines.append(
+                f"{'span':<40}{'calls':>8}{'total s':>12}{'mean s':>12}"
+                f"{'min s':>12}{'max s':>12}"
+            )
+            for name in sorted(spans):
+                s = spans[name]
+                lines.append(
+                    f"{name:<40}{s.count:>8d}{s.total:>12.4g}{s.mean:>12.4g}"
+                    f"{s.min:>12.4g}{s.max:>12.4g}"
+                )
+        if values:
+            lines.append("")
+            lines.append(
+                f"{'value':<40}{'count':>8}{'total':>12}{'mean':>12}"
+                f"{'min':>12}{'max':>12}"
+            )
+            for name in sorted(values):
+                s = values[name]
+                lines.append(
+                    f"{name:<40}{s.count:>8d}{s.total:>12.4g}{s.mean:>12.4g}"
+                    f"{s.min:>12.4g}{s.max:>12.4g}"
+                )
+        if n_events:
+            lines.append("")
+            lines.append(f"events recorded: {n_events}")
+        if len(lines) == 1:
+            lines.append("(nothing recorded)")
+        return "\n".join(lines)
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: every hook is a no-op.
+
+    Instrumented code can call the hooks unconditionally -- with this
+    implementation installed (the ambient default) each call is a single
+    empty method invocation, which keeps the hot sweep loop at its
+    pre-instrumentation cost.
+    """
+
+    enabled = False
+
+    def count(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def record(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+
+#: The shared disabled instance; also the ambient default.
+NULL = NullTelemetry()
+
+_active: Telemetry = NULL
+_active_lock = threading.Lock()
+
+
+def get_active() -> Telemetry:
+    """The ambient telemetry (module-global; :data:`NULL` by default)."""
+    return _active
+
+
+def set_active(telemetry: Telemetry | None) -> Telemetry:
+    """Install ``telemetry`` (``None`` -> disabled); returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = telemetry if telemetry is not None else NULL
+    return previous
+
+
+@contextmanager
+def activate(telemetry: Telemetry | None) -> Iterator[Telemetry]:
+    """Scope the ambient telemetry: ``with activate(tel): ...``.
+
+    The ambient slot is process-global (thread-pool workers deliberately
+    share it, so their solver/simulator hooks aggregate into one sink);
+    nesting restores the previous sink on exit.
+    """
+    previous = set_active(telemetry)
+    try:
+        yield get_active()
+    finally:
+        set_active(previous)
+
+
+# --- run manifest -------------------------------------------------------------
+
+
+@dataclass
+class RunManifest:
+    """JSON artifact describing one profiled run, written next to outputs.
+
+    The manifest is the machine-readable counterpart of
+    :meth:`Telemetry.summary`: a CI job archives it, a later run compares
+    against it, a human reads it to see where the wall-clock time of a
+    sweep went.  All fields are plain JSON types; ``save``/``load``
+    round-trip exactly.
+    """
+
+    command: str = ""
+    created_unix: float = 0.0
+    seed: int | None = None
+    scale: str | None = None
+    grid_size: int | None = None
+    executor: str | None = None
+    n_workers: int | None = None
+    #: Per-phase wall seconds (span name -> total seconds).
+    phases: dict = field(default_factory=dict)
+    #: Per-block simulation wall seconds (block name -> total seconds).
+    block_time_s: dict = field(default_factory=dict)
+    #: Per-block power in watts of the representative optimum.
+    block_power_w: dict = field(default_factory=dict)
+    #: Sweep statistics: cache hits/misses, restores, failures, latency.
+    sweep: dict = field(default_factory=dict)
+    #: Completion-order progress events (done/total/elapsed/ETA).
+    eta_history: list = field(default_factory=list)
+    environment: dict = field(default_factory=dict)
+    schema: int = MANIFEST_SCHEMA_VERSION
+
+    @staticmethod
+    def describe_environment() -> dict:
+        """Interpreter/platform stamp recorded into manifests."""
+        try:
+            import numpy
+
+            numpy_version = numpy.__version__
+        except Exception:  # pragma: no cover - numpy is a hard dependency
+            numpy_version = None
+        return {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "numpy": numpy_version,
+        }
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output.
+
+        Unknown keys are rejected (they indicate a newer schema); a
+        missing or different ``schema`` version is rejected explicitly.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError(f"manifest payload must be a dict, got {type(payload)}")
+        schema = payload.get("schema")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"manifest schema {schema!r} != supported {MANIFEST_SCHEMA_VERSION}"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown manifest keys: {sorted(unknown)}")
+        return cls(**payload)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the manifest as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read a manifest written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

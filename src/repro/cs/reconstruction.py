@@ -20,11 +20,42 @@ object the simulation chain and the explorer consume.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.util.validation import check_positive, check_positive_int
+
+_GET_ACTIVE_TELEMETRY = None
+
+
+def _telemetry():
+    """The ambient telemetry sink (lazily imported).
+
+    ``repro.core.__init__`` imports the explorer, which imports this
+    module, so a top-level ``from repro.core.telemetry import ...`` would
+    be circular when ``repro.cs`` is imported first.  The first solve
+    resolves and caches the accessor instead; with telemetry disabled the
+    ambient sink is the shared no-op instance.
+    """
+    global _GET_ACTIVE_TELEMETRY
+    if _GET_ACTIVE_TELEMETRY is None:
+        from repro.core.telemetry import get_active
+
+        _GET_ACTIVE_TELEMETRY = get_active
+    return _GET_ACTIVE_TELEMETRY()
+
+
+def _note_solve(method: str, iterations: int, frames: int, elapsed_s: float) -> None:
+    """Report one solver convergence (iterations + wall time) to telemetry."""
+    telemetry = _telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.count(f"cs.{method}.solves")
+    telemetry.count(f"cs.{method}.frames", frames)
+    telemetry.record(f"cs.{method}.iterations", iterations)
+    telemetry.record(f"cs.{method}.solve_seconds", elapsed_s)
 
 
 def least_squares_on_support(
@@ -85,6 +116,7 @@ def omp(
     y_norm = np.linalg.norm(y)
     if y_norm == 0:
         return np.zeros(n)
+    start = time.perf_counter()
     for _ in range(min(sparsity, m)):
         correlations = np.abs(a.T @ residual) / norms
         if support:
@@ -95,6 +127,7 @@ def omp(
         residual = y - a @ coeffs
         if tol > 0 and np.linalg.norm(residual) <= tol * y_norm:
             break
+    _note_solve("omp", len(support), 1, time.perf_counter() - start)
     return least_squares_on_support(a, y, np.array(support))
 
 
@@ -132,13 +165,17 @@ def ista(
         return out[0] if np.ndim(y) == 1 else out
     step = 1.0 / lipschitz
     z = np.zeros((y2.shape[0], a.shape[1]))
+    start = time.perf_counter()
+    iterations = 0
     for _ in range(n_iter):
+        iterations += 1
         gradient = (z @ a.T - y2) @ a  # (B, N): (A z - y) A, batched
         z_next = _soft_threshold(z - step * gradient, lam * step)
         if np.max(np.abs(z_next - z)) <= tol:
             z = z_next
             break
         z = z_next
+    _note_solve("ista", iterations, y2.shape[0], time.perf_counter() - start)
     return z[0] if np.ndim(y) == 1 else z
 
 
@@ -192,7 +229,10 @@ def fista(
     t = 1.0
     gram = a.T @ a  # (N, N), precomputed: gradient = momentum @ gram - y A
     ya = y2 @ a  # (B, N)
+    start = time.perf_counter()
+    iterations = 0
     for _ in range(n_iter):
+        iterations += 1
         gradient = momentum @ gram - ya
         z_next = _soft_threshold(momentum - step * gradient, lam * step)
         t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
@@ -202,6 +242,7 @@ def fista(
         t = t_next
         if delta <= tol:
             break
+    _note_solve("fista", iterations, b, time.perf_counter() - start)
     if debias:
         for i in range(b):
             support = np.flatnonzero(z[i])
@@ -243,7 +284,10 @@ def iht(
         return out[0] if single else out
     step = 1.0 / lipschitz
     z = np.zeros((b, n))
+    start = time.perf_counter()
+    iterations = 0
     for _ in range(n_iter):
+        iterations += 1
         gradient = (z @ a.T - y2) @ a
         candidate = z - step * gradient
         # Keep the K largest-magnitude entries per row.
@@ -255,6 +299,7 @@ def iht(
             z = z_next
             break
         z = z_next
+    _note_solve("iht", iterations, b, time.perf_counter() - start)
     return z[0] if single else z
 
 
@@ -319,9 +364,14 @@ class Reconstructor:
         single measurement (M,) or batch (B, M).  Returns reconstructed
         signal frames (N,) or (B, N).
         """
+        telemetry = _telemetry()
         a = self._effective_dictionary(phi_eff)
         single = np.ndim(y) == 1
         y2 = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        with telemetry.span(f"cs.recover.{self.method}"):
+            return self._solve(a, y2, single)
+
+    def _solve(self, a: np.ndarray, y2: np.ndarray, single: bool) -> np.ndarray:
         if self.method == "omp":
             coeffs = np.stack([omp(a, row, sparsity=self.sparsity) for row in y2])
         elif self.method == "iht":

@@ -31,9 +31,12 @@ from repro.experiments.runner import (
     FistaReconstructorFactory,
     active_scale,
     augment_training_set,
+    build_run_manifest,
     default_workers,
     make_harness,
+    profile_representative_point,
     run_search_space,
+    search_space_for,
 )
 from repro.experiments.table1 import TABLE1_COLUMNS, render_table1, verify_capability_evidence
 from repro.experiments.table2 import power_model_rows, reference_operating_points, render_table2
@@ -76,7 +79,10 @@ __all__ = [
     "analyze_fig8",
     "analyze_fig9",
     "augment_training_set",
+    "build_run_manifest",
     "make_harness",
+    "profile_representative_point",
+    "search_space_for",
     "paper_search_space",
     "power_model_rows",
     "reference_operating_points",

@@ -24,13 +24,16 @@ benchmarks share a single exploration.
 from __future__ import annotations
 
 import os
+import time
+from collections.abc import Callable
 from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
 
 from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
-from repro.core.results import ExplorationResult
+from repro.core.results import Evaluation, ExplorationResult
+from repro.core.telemetry import Telemetry, RunManifest, activate
 from repro.cs.dictionaries import dct_basis, wavelet_basis
 from repro.cs.reconstruction import Reconstructor
 from repro.detection.spectral import SpectralCombDetector
@@ -257,6 +260,40 @@ def make_harness(scale: str | ExperimentScale | None = None) -> ExperimentHarnes
     return _harness_cached(name)
 
 
+def search_space_for(scale: str | ExperimentScale):
+    """The Table III search space at ``scale`` (both architectures)."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    return paper_search_space(
+        noise_values_uv=scale.noise_values_uv,
+        n_bits_values=scale.n_bits_values,
+        cs_m_values=scale.cs_m_values,
+    )
+
+
+def _run_sweep(
+    scale_name: str,
+    executor: str,
+    n_workers: int | None,
+    checkpoint: str | None,
+    cache_dir: str | None,
+    progress: Callable[[int, Evaluation], None] | None = None,
+    telemetry: Telemetry | None = None,
+) -> ExplorationResult:
+    harness = make_harness(scale_name)
+    explorer = DesignSpaceExplorer(harness.evaluator)
+    return explorer.explore(
+        search_space_for(harness.scale),
+        name=f"fig7-{scale_name}",
+        executor=executor,
+        n_workers=n_workers,
+        checkpoint=checkpoint,
+        cache=cache_dir,
+        progress=progress,
+        telemetry=telemetry,
+    )
+
+
 @lru_cache(maxsize=8)
 def _sweep_cached(
     scale_name: str,
@@ -265,22 +302,7 @@ def _sweep_cached(
     checkpoint: str | None,
     cache_dir: str | None,
 ) -> ExplorationResult:
-    harness = make_harness(scale_name)
-    scale = harness.scale
-    space = paper_search_space(
-        noise_values_uv=scale.noise_values_uv,
-        n_bits_values=scale.n_bits_values,
-        cs_m_values=scale.cs_m_values,
-    )
-    explorer = DesignSpaceExplorer(harness.evaluator)
-    return explorer.explore(
-        space,
-        name=f"fig7-{scale_name}",
-        executor=executor,
-        n_workers=n_workers,
-        checkpoint=checkpoint,
-        cache=cache_dir,
-    )
+    return _run_sweep(scale_name, executor, n_workers, checkpoint, cache_dir)
 
 
 def run_search_space(
@@ -290,6 +312,8 @@ def run_search_space(
     n_workers: int | None = None,
     checkpoint: str | None = None,
     cache_dir: str | None = None,
+    progress: Callable[[int, Evaluation], None] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> ExplorationResult:
     """The Fig. 7 search-space sweep (cached per scale; Figs. 8-10 reuse it).
 
@@ -298,7 +322,10 @@ def run_search_space(
     is requested.  Parallel runs are bit-identical to serial ones, so the
     in-process per-scale cache stays valid across backends.  ``checkpoint``
     (JSONL resume) and ``cache_dir`` (on-disk evaluation cache) are passed
-    through to :meth:`DesignSpaceExplorer.explore`.
+    through to :meth:`DesignSpaceExplorer.explore`, as are ``progress``
+    (live per-point callback) and ``telemetry`` (sweep statistics sink) --
+    runs observed through either bypass the in-process memo so the
+    observers actually fire.
     """
     if scale is None:
         scale = active_scale()
@@ -307,4 +334,105 @@ def run_search_space(
         n_workers = default_workers()
     if executor is None:
         executor = "process" if (n_workers or 1) > 1 else "serial"
+    if progress is not None or telemetry is not None:
+        return _run_sweep(
+            name, executor, n_workers, checkpoint, cache_dir, progress, telemetry
+        )
     return _sweep_cached(name, executor, n_workers, checkpoint, cache_dir)
+
+
+def profile_representative_point(
+    sweep: ExplorationResult,
+    telemetry: Telemetry,
+    scale: str | ExperimentScale | None = None,
+) -> Evaluation | None:
+    """Re-simulate one successful point with ``telemetry`` activated.
+
+    Parallel sweeps run their simulations in worker processes, where the
+    driver's telemetry is not ambient -- so no per-block time spans reach
+    the manifest.  This profiles a single representative point (the
+    minimum-power success) in-process to recover the per-block time
+    breakdown; returns the profiling evaluation, or ``None`` when the
+    sweep has no successful point.
+    """
+    best = sweep.best()
+    representative = best if best is not None else next(
+        (e for e in sweep if e.ok), None
+    )
+    if representative is None:
+        return None
+    harness = make_harness(scale)
+    with activate(telemetry), telemetry.span("profile.representative"):
+        return harness.evaluator.evaluate(representative.point)
+
+
+def build_run_manifest(
+    sweep: ExplorationResult,
+    telemetry: Telemetry,
+    scale: str | ExperimentScale | None = None,
+    *,
+    executor: str | None = None,
+    n_workers: int | None = None,
+    command: str = "sweep",
+    max_eta_events: int = 200,
+) -> RunManifest:
+    """Assemble the :class:`RunManifest` of one profiled sweep.
+
+    Combines the sweep result (per-block *power* breakdown of the optimum,
+    failure counts) with the telemetry state (per-phase and per-block
+    *time* breakdowns, cache/checkpoint counters, per-point latency, ETA
+    history).  When the telemetry holds no ``block.*`` spans -- the
+    parallel-executor case -- one representative point is re-simulated
+    in-process to fill the time breakdown.
+    """
+    if scale is None:
+        scale = active_scale()
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+
+    if not telemetry.timers("block."):
+        profile_representative_point(sweep, telemetry, scale.name)
+
+    snapshot = telemetry.snapshot()
+    counters = snapshot["counters"]
+    eta_history = [
+        event for event in snapshot["events"] if event["kind"] == "explore.progress"
+    ]
+    if len(eta_history) > max_eta_events:
+        # Thin evenly but always keep the final event (the run's end state).
+        stride = -(-len(eta_history) // max_eta_events)
+        eta_history = eta_history[::stride] + [eta_history[-1]]
+
+    best = sweep.best()
+    representative = best if best is not None else next(
+        (e for e in sweep if e.ok), None
+    )
+
+    point_stats = snapshot["values"].get("explore.point_seconds", {})
+    return RunManifest(
+        command=command,
+        created_unix=time.time(),
+        seed=scale.seed,
+        scale=scale.name,
+        grid_size=search_space_for(scale).size,
+        executor=executor,
+        n_workers=n_workers,
+        phases=telemetry.timers(),
+        block_time_s=telemetry.timers("block."),
+        block_power_w=dict(representative.breakdown) if representative else {},
+        sweep={
+            "name": sweep.name,
+            "evaluated": len(sweep),
+            "failures": len(sweep.failures()),
+            "cache_hits": counters.get("explore.cache_hits", 0),
+            "cache_misses": counters.get("explore.cache_misses", 0),
+            "checkpoint_restored": counters.get("explore.checkpoint_restored", 0),
+            "progress_errors": counters.get("explore.progress_errors", 0),
+            "point_seconds": point_stats,
+            "representative_point": (
+                representative.point.describe() if representative else None
+            ),
+        },
+        eta_history=eta_history,
+        environment=RunManifest.describe_environment(),
+    )

@@ -39,7 +39,13 @@ def snr_vs_reference(reference: np.ndarray, processed: np.ndarray) -> float:
     if signal_power == 0:
         raise ValueError("reference signal is identically zero")
     denom = float(np.dot(processed, processed))
-    gain = float(np.dot(reference, processed)) / denom if denom > 0 else 0.0
+    if denom == 0:
+        # A dead channel (identically-zero output) recovers nothing of the
+        # reference: -inf dB, so it can never outrank a noisy-but-alive
+        # design point in a Pareto sweep.  (The old 0.0 dB fallback made
+        # an all-zero output look better than a -3 dB one.)
+        return -np.inf
+    gain = float(np.dot(reference, processed)) / denom
     error = reference - gain * processed
     noise_power = float(np.mean(error**2))
     if noise_power == 0:
@@ -76,6 +82,16 @@ def analyze_sine(
     is applied.  The fundamental is located as the largest non-DC bin.
     ``n_harmonics`` harmonic bins (with aliasing folded back into the first
     Nyquist zone) count as distortion; remaining bins count as noise.
+
+    Folding edge cases: a harmonic that aliases onto bin 0 or into the
+    ``exclude_dc_bins`` guard band still counts as distortion (with its
+    *unzeroed* bin power) -- previously such bins were silently dropped
+    from both distortion and noise, inflating the SNDR of exactly the
+    coherent tones whose harmonics land on DC or Nyquist.  A harmonic that
+    folds onto the fundamental itself is unmeasurable and remains excluded.
+    Note this means any true DC offset of the record is attributed to
+    distortion in the (rare) coherent case where a harmonic aliases to
+    bin 0.
     """
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 1:
@@ -84,28 +100,32 @@ def analyze_sine(
     check_positive_int("record length", n)
     spectrum = np.fft.rfft(data)
     power = np.abs(spectrum) ** 2
-    power[0:exclude_dc_bins] = 0.0
-    fundamental = int(np.argmax(power))
-    if power[fundamental] == 0:
+    # Zero only a search copy: the true bin powers must survive so that
+    # harmonics folding into the excluded DC region keep their power.
+    search = power.copy()
+    search[0:exclude_dc_bins] = 0.0
+    fundamental = int(np.argmax(search))
+    if search[fundamental] == 0:
         raise ValueError("record contains no tone (flat spectrum)")
     p_fund = float(power[fundamental])
 
-    harmonic_bins = []
+    harmonic_bins: set[int] = set()
     n_bins = power.size
+    period = 2 * (n_bins - 1) if n_bins > 1 else 1
     for k in range(2, 2 + n_harmonics):
-        bin_k = fundamental * k
-        # Fold aliased harmonics back into [0, N/2].
-        folded = bin_k % (2 * (n_bins - 1))
+        # Fold aliased harmonics back into [0, N/2] (bin 0 and the
+        # Nyquist bin n_bins-1 are both valid folding targets).
+        folded = (fundamental * k) % period
         if folded >= n_bins:
-            folded = 2 * (n_bins - 1) - folded
-        if 0 < folded < n_bins and folded != fundamental:
-            harmonic_bins.append(folded)
-    p_harm = float(sum(power[b] for b in set(harmonic_bins)))
+            folded = period - folded
+        if folded != fundamental:
+            harmonic_bins.add(folded)
+    p_harm = float(sum(power[b] for b in harmonic_bins))
 
     mask = np.ones(n_bins, dtype=bool)
     mask[:exclude_dc_bins] = False
     mask[fundamental] = False
-    for b in set(harmonic_bins):
+    for b in harmonic_bins:
         mask[b] = False
     p_noise = float(np.sum(power[mask]))
 

@@ -85,6 +85,54 @@ class TestCommands:
         assert "Fig. 10" in report_out
 
 
+class TestProfiledSweep:
+    def test_profile_writes_manifest_and_summary(self, tmp_path, capsys):
+        from repro.core.telemetry import MANIFEST_SCHEMA_VERSION, RunManifest, get_active
+
+        manifest_path = tmp_path / "run.manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale", "smoke",
+                    "--profile",
+                    "--no-progress",
+                    "--no-cache",
+                    "--manifest", str(manifest_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote run manifest" in out
+        assert "telemetry summary" in out
+
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.schema == MANIFEST_SCHEMA_VERSION
+        assert manifest.scale == "smoke"
+        assert manifest.grid_size == 18
+        assert manifest.sweep["evaluated"] == 18
+        assert manifest.block_time_s, "per-block time breakdown missing"
+        assert manifest.block_power_w, "per-block power breakdown missing"
+        assert manifest.sweep["point_seconds"]["count"] == 18
+        assert manifest.eta_history
+
+        # The CLI deactivates its telemetry sink after the command.
+        assert not get_active().enabled
+
+    def test_observability_flags_parse_on_every_command(self):
+        for argv in (
+            ["tables", "--profile"],
+            ["fig4", "--log-level", "debug"],
+            ["sweep", "--no-progress"],
+            ["budget", "--profile"],
+        ):
+            args = build_parser().parse_args(argv)
+            assert hasattr(args, "profile")
+            assert hasattr(args, "log_level")
+            assert hasattr(args, "no_progress")
+
+
 class TestSweepParallelFlags:
     def test_defaults(self):
         args = build_parser().parse_args(["sweep"])

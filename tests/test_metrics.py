@@ -35,6 +35,11 @@ class TestSnrVsReference:
         with pytest.raises(ValueError):
             snr_vs_reference(np.zeros(4), np.ones(4))
 
+    def test_dead_channel_is_minus_infinity(self):
+        # An identically-zero processed stream carries no signal at all;
+        # it must rank below any noisy-but-alive channel, never at 0 dB.
+        assert snr_vs_reference(np.ones(8), np.zeros(8)) == -np.inf
+
 
 class TestAnalyzeSine:
     def test_ideal_quantizer_sndr(self):
@@ -74,6 +79,36 @@ class TestAnalyzeSine:
         analysis = analyze_sine(distorted, n_harmonics=3)
         assert analysis.thd_db > -60  # visible distortion
         assert analysis.snr_db > analysis.sndr_db + 3
+
+    def test_harmonics_folding_onto_dc_and_nyquist(self):
+        # n=64 record, fundamental at bin 16: the 2nd harmonic lands on
+        # Nyquist (bin 32) and the 4th folds to DC (bin 0, here carrying
+        # the 0.05 offset).  Both must count as distortion.
+        n = 64
+        k = np.arange(n)
+        data = (
+            np.sin(2 * np.pi * 16 * k / n)
+            + 0.1 * np.cos(2 * np.pi * 32 * k / n)
+            + 0.05
+        )
+        analysis = analyze_sine(data, n_harmonics=4)
+        assert analysis.fundamental_bin == 16
+        # p_fund = 1024; p_harm = 40.96 (Nyquist) + 10.24 (DC) = 51.2
+        # => THD = 10*log10(51.2/1024) = -13.0103 dB.
+        assert analysis.thd_db == pytest.approx(-13.0103, abs=1e-3)
+        assert analysis.sndr_db == pytest.approx(13.0103, abs=1e-3)
+
+    def test_harmonic_folding_into_dc_guard_band(self):
+        # Fundamental at bin 13 with exclude_dc_bins=2: the 5th harmonic
+        # folds to bin 65 % 64 = 1, inside the excluded guard band.  Its
+        # power must still be attributed to distortion.
+        n = 64
+        k = np.arange(n)
+        data = np.sin(2 * np.pi * 13 * k / n) + 0.1 * np.cos(2 * np.pi * 1 * k / n)
+        analysis = analyze_sine(data, n_harmonics=5, exclude_dc_bins=2)
+        assert analysis.fundamental_bin == 13
+        # p_harm/p_fund = (0.1/1.0)**2 => THD = -20 dB exactly.
+        assert analysis.thd_db == pytest.approx(-20.0, abs=1e-6)
 
     def test_flat_spectrum_rejected(self):
         with pytest.raises(ValueError):

@@ -326,3 +326,72 @@ class TestHelpers:
         assert base == same
         assert base != other_seed
         assert base != other_corpus
+
+
+class TestProgressCallbackIsolation:
+    """A raising progress callback must not kill a non-strict sweep."""
+
+    @staticmethod
+    def _raising_progress(index, evaluation):
+        raise RuntimeError("observer exploded")
+
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_non_strict_sweep_survives_raising_callback(self, executor):
+        from repro.core.telemetry import Telemetry
+
+        space = smoke_grid()
+        tel = Telemetry()
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        result = explorer.explore(
+            space,
+            progress=self._raising_progress,
+            executor=executor,
+            n_workers=2,
+            telemetry=tel,
+        )
+        assert len(result) == space.size
+        assert not result.failures()
+        assert tel.counters["explore.progress_errors"] == space.size
+        assert_sweeps_identical(explorer.explore(space), result)
+
+    def test_strict_sweep_propagates_callback_error(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        with pytest.raises(RuntimeError, match="observer exploded"):
+            explorer.explore(
+                smoke_grid(), progress=self._raising_progress, strict=True
+            )
+
+
+class TestBatchedCacheMirroring:
+    """Cache hits mirrored into a checkpoint flush as one batch, not N."""
+
+    def test_fully_cached_resume_pays_one_fsync(self, tmp_path, monkeypatch):
+        import os as _os
+
+        space = smoke_grid()
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        explorer.explore(space, cache=tmp_path / "cache")
+
+        fsyncs = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            "repro.core.execution.os.fsync",
+            lambda fd: (fsyncs.append(fd), real_fsync(fd))[1],
+        )
+        result = explorer.explore(
+            space, cache=tmp_path / "cache", checkpoint=tmp_path / "resume.jsonl"
+        )
+        assert len(result) == space.size
+        assert len(fsyncs) == 1, (
+            f"{space.size} cache hits should mirror in one batched flush, "
+            f"saw {len(fsyncs)} fsyncs"
+        )
+
+    def test_append_many_writes_every_entry(self, tmp_path):
+        entries = [(i, ToyEvaluator()(DesignPoint(n_bits=b))) for i, b in enumerate((6, 7, 8))]
+        path = tmp_path / "batch.jsonl"
+        with SweepCheckpoint(path) as ckpt:
+            ckpt.append_many(entries)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(line)["index"] for line in lines] == [0, 1, 2]
