@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Yield analysis: how much fault margin do the two optima really have?
+
+The paper's pathfinding flow picks nominal optima; a silicon team also
+needs to know how those optima behave when the front-end misbehaves.
+This example:
+
+1. builds a fault suite spanning the chain (LNA saturation bursts and
+   gain drift, S&H dropouts, ADC bit faults, TX packet loss and NaN
+   glitches);
+2. runs a Monte-Carlo yield sweep — fault severity x chip realisations —
+   against the clean reference of each architecture;
+3. reads the result the way a designer would: yield curves, degradation
+   statistics, and the severity each chain tolerates at >= 50% yield;
+4. shows the single-fault drill-down used to attribute the collapse.
+
+Run:  python examples/yield_analysis.py             (smoke scale)
+      REPRO_SCALE=small python examples/yield_analysis.py
+"""
+
+from repro.experiments import (
+    DEFAULT_FAULT_SUITE,
+    make_harness,
+    reference_operating_points,
+)
+from repro.faults import FaultSuite, MonteCarloYield, NanGlitch, PacketLoss
+
+
+def main() -> None:
+    print("--- building harness and reference operating points ---")
+    harness = make_harness()
+    points = reference_operating_points()
+    evaluators = {name: harness.evaluator for name in points}
+
+    print("\n--- full-suite Monte-Carlo yield sweep ---")
+    runner = MonteCarloYield(
+        evaluators=evaluators,
+        points=points,
+        suite=DEFAULT_FAULT_SUITE,
+        severities=(0.1, 0.25, 0.5, 1.0),
+        n_realisations=3,
+    )
+    result = runner.run()
+    print(result.as_table())
+
+    for chain in result.chains():
+        tolerated = [s for s, y in result.yield_curve(chain) if y >= 0.5]
+        verdict = f"severity {max(tolerated):g}" if tolerated else "none"
+        print(f"{chain}: >= 50% yield up to {verdict}")
+
+    print("\n--- drill-down: transmitter faults only ---")
+    tx_suite = FaultSuite(
+        entries=(
+            ("transmitter", PacketLoss(severity=1.0)),
+            ("transmitter", NanGlitch(severity=1.0)),
+        )
+    )
+    drill = MonteCarloYield(
+        evaluators=evaluators,
+        points=points,
+        suite=tx_suite,
+        severities=(0.5, 1.0),
+        n_realisations=3,
+    ).run()
+    print(drill.as_table())
+    print(
+        "Reading: if the transmitter-only collapse matches the full-suite "
+        "collapse at severity 1, the link (not the analog front-end) is "
+        "the margin limiter — harden the packetisation first."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,10 @@ Package map
     EEG features + numpy MLP seizure detector (the accuracy goal oracle).
 ``repro.metrics``
     SNR/SNDR/ENOB, NMSE/PRD.
+``repro.faults``
+    Composable fault injection (dropouts, ADC bit faults, saturation
+    bursts, drift, packet loss, NaN glitches) and Monte-Carlo yield
+    analysis.
 ``repro.experiments``
     One module per paper table/figure, plus the scaled experiment harness.
 

@@ -159,7 +159,14 @@ class SarAdc(Block):
     def process(self, signal: Signal, ctx: SimulationContext) -> Signal:
         rng = ctx.rng(self.name)
         converted = self.convert(signal.data, rng)
-        return signal.replaced(data=converted, domain="digital", adc_bits=self.n_bits)
+        # adc_v_fs rides along so downstream consumers (e.g. the fault
+        # models re-deriving integer codes) need not reach into the block.
+        return signal.replaced(
+            data=converted,
+            domain="digital",
+            adc_bits=self.n_bits,
+            adc_v_fs=self.v_fs,
+        )
 
     def power(self, point: DesignPoint) -> dict[str, float]:
         # Leakage of the converter's switch network: the S&H switch plus

@@ -9,7 +9,9 @@ Gives the paper's workflow a shell entry point:
   print fronts/optima, and optionally save the raw sweep as JSON/CSV;
 * ``report`` -- re-analyse a saved sweep (Figs. 7-10) without
   re-simulating;
-* ``budget`` -- print the closed-form noise budget of a design point.
+* ``budget`` -- print the closed-form noise budget of a design point;
+* ``robustness`` -- Monte-Carlo fault-injection yield analysis of the two
+  reference optima (accuracy degradation vs fault severity).
 
 Every command prints plain text (ASCII charts included), suitable for
 logs and CI artefacts.
@@ -123,6 +125,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=progress,
         telemetry=telemetry if telemetry.enabled else None,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     full_sweep = sweep
     failures = sweep.failures()
@@ -200,6 +204,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"median area ratio (cs / baseline): {fig9.area_ratio():.2f}x")
     print("\n== Fig. 10: area-constrained fronts ==")
     print(analyze_fig10(sweep).render())
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.telemetry import get_active
+    from repro.experiments.robustness import (
+        build_robustness_manifest,
+        render_robustness,
+        run_robustness,
+    )
+
+    telemetry = get_active()
+    result = run_robustness(
+        args.scale,
+        severities=tuple(args.severities),
+        n_realisations=args.realisations,
+        max_degradation=args.max_degradation,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        telemetry=telemetry if telemetry.enabled else None,
+    )
+    print(f"robustness analysis at scale {args.scale!r}\n")
+    print(render_robustness(result))
+    if telemetry.enabled:
+        manifest_path = Path(args.manifest or "repro-robustness-manifest.json")
+        manifest = build_robustness_manifest(result, telemetry, args.scale)
+        manifest.save(manifest_path)
+        print(f"\nwrote run manifest to {manifest_path}")
     return 0
 
 
@@ -296,7 +330,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="RunManifest JSON path (default: next to --save, else "
         "repro-manifest.json; written when profiling is on)",
     )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock ceiling; a hung evaluation becomes a "
+        "failed point instead of stalling the sweep",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="bounded retries (exponential backoff) for failing points",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="Monte-Carlo fault-injection yield analysis of the two optima",
+        parents=[common],
+    )
+    robustness.add_argument(
+        "--scale", default="smoke", choices=["smoke", "small", "paper"]
+    )
+    robustness.add_argument(
+        "--severities",
+        type=float,
+        nargs="+",
+        default=[0.1, 0.25, 0.5, 1.0],
+        help="fault severity grid in [0, 1] (0 = clean, run implicitly)",
+    )
+    robustness.add_argument(
+        "--realisations",
+        type=int,
+        default=None,
+        help="fault realisations per (chain, severity) cell "
+        "(default: 3 at smoke scale, 8 otherwise)",
+    )
+    robustness.add_argument(
+        "--max-degradation",
+        type=float,
+        default=0.05,
+        help="yield spec: max tolerated accuracy degradation vs clean",
+    )
+    robustness.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-evaluation wall-clock ceiling",
+    )
+    robustness.add_argument(
+        "--retries", type=int, default=0, help="bounded retries per evaluation"
+    )
+    robustness.add_argument(
+        "--manifest",
+        help="RunManifest JSON path (default: repro-robustness-manifest.json; "
+        "written when profiling is on)",
+    )
+    robustness.set_defaults(func=_cmd_robustness)
 
     report = sub.add_parser("report", help="re-analyse a saved sweep", parents=[common])
     report.add_argument("sweep_file")

@@ -8,7 +8,15 @@
 """
 
 from repro.core.block import Block, FunctionBlock, PassthroughBlock, SimulationContext
-from repro.core.execution import EvaluationCache, SweepCheckpoint
+from repro.core.execution import (
+    DEFAULT_POLICY,
+    CheckpointLockedError,
+    EvaluationCache,
+    EvaluationTimeout,
+    ExecutionPolicy,
+    PointEvaluationError,
+    SweepCheckpoint,
+)
 from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
 from repro.core.goal import (
     Goal,
@@ -41,11 +49,15 @@ from repro.core.telemetry import (
 
 __all__ = [
     "Block",
+    "CheckpointLockedError",
     "CompositeSpace",
+    "DEFAULT_POLICY",
     "DOMAINS",
     "DesignSpaceExplorer",
     "Evaluation",
     "EvaluationCache",
+    "EvaluationTimeout",
+    "ExecutionPolicy",
     "ExplorationResult",
     "FrontEndEvaluator",
     "FunctionBlock",
@@ -57,6 +69,7 @@ __all__ = [
     "Telemetry",
     "ParameterSpace",
     "PassthroughBlock",
+    "PointEvaluationError",
     "SWEEPABLE_FIELDS",
     "SimulationContext",
     "SimulationResult",

@@ -15,7 +15,13 @@ layers three orthogonal mechanisms on top of the bare evaluation loop:
   experiment skips every already-evaluated point.
 * **JSONL checkpointing** (:class:`SweepCheckpoint`) -- each completed
   evaluation is appended as one JSON line; a re-run with the same
-  checkpoint path resumes mid-sweep after an interruption.
+  checkpoint path resumes mid-sweep after an interruption.  A lock-file
+  guard makes two concurrent sweeps sharing a checkpoint path fail fast
+  instead of interleaving appends into corrupt JSONL.
+* **Hardened evaluation** (:class:`ExecutionPolicy`) -- per-point
+  wall-clock timeouts (a hung solve becomes a failed
+  :class:`Evaluation`, not a stalled sweep) and bounded retry with
+  exponential backoff for transient failures.
 
 Worker processes receive the evaluator once (pool initializer), not per
 task, so the corpus array crosses the process boundary a single time per
@@ -26,56 +32,217 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+import threading
 import time
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.results import Evaluation
 from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
+from repro.core.telemetry import get_active
 from repro.power.technology import DesignPoint
+
+try:  # POSIX advisory locking; the fallback covers other platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+log = logging.getLogger("repro.execution")
 
 #: Valid values of ``DesignSpaceExplorer.explore(executor=...)``.
 EXECUTORS = ("serial", "process", "thread")
+
+
+class EvaluationTimeout(TimeoutError):
+    """A design-point evaluation exceeded its wall-clock budget."""
+
+
+class PointEvaluationError(RuntimeError):
+    """Strict-mode failure wrapper that names the offending design point.
+
+    Parallel chunks surface exceptions at chunk granularity; without this
+    wrapper a strict sweep's traceback gives no indication of *which*
+    design point failed.  The message embeds ``point.describe()`` and the
+    original error text, and the instance pickles across process pools.
+    """
+
+    def __init__(self, point_description: str, message: str):
+        super().__init__(f"design point {point_description}: {message}")
+        self.point_description = point_description
+        self.message = message
+
+    def __reduce__(self):
+        return (type(self), (self.point_description, self.message))
+
+
+class CheckpointLockedError(RuntimeError):
+    """A second sweep tried to append to an already-locked checkpoint."""
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-tolerance knobs applied to every point evaluation.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-point wall-clock ceiling in seconds; ``None`` disables the
+        watchdog.  The evaluation runs on a daemon watchdog thread, so a
+        timed-out solve is *abandoned* (its thread keeps running until the
+        worker process exits) rather than interrupted -- the standard
+        pure-Python trade-off; pick a ceiling well above the honest
+        per-point latency.
+    retries:
+        Extra attempts after a failed evaluation (0 = fail immediately).
+        Evaluations are deterministic given their seed, so retries pay off
+        only for *transient* failures (OOM kills, flaky I/O in custom
+        evaluators), which is exactly what they are bounded for.
+    retry_backoff_s:
+        Base of the exponential backoff between attempts: attempt ``k``
+        sleeps ``retry_backoff_s * 2**(k-1)`` seconds.  0 disables the
+        sleep (used by tests).
+    retry_timeouts:
+        Whether a timed-out evaluation is retried.  Off by default: each
+        abandoned attempt leaks a watchdog thread, and a deterministic
+        hang would leak ``retries + 1`` of them.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 0
+    retry_backoff_s: float = 0.5
+    retry_timeouts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0 or None, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+
+
+#: The do-nothing policy: no timeout, no retries (pre-hardening semantics).
+DEFAULT_POLICY = ExecutionPolicy()
+
+
+def _call_with_timeout(
+    evaluator: Callable[[DesignPoint], Evaluation],
+    point: DesignPoint,
+    timeout_s: float,
+) -> Evaluation:
+    """Run one evaluation under a wall-clock watchdog.
+
+    The evaluation runs on a daemon thread; if it does not finish within
+    ``timeout_s`` an :class:`EvaluationTimeout` is raised and the thread
+    is abandoned (daemon threads never block process exit).
+    """
+    outcome: list = []
+
+    def run() -> None:
+        try:
+            outcome.append((True, evaluator(point)))
+        except BaseException as error:  # noqa: BLE001 - relayed to the caller
+            outcome.append((False, error))
+
+    watchdog = threading.Thread(target=run, name="repro-eval-watchdog", daemon=True)
+    watchdog.start()
+    watchdog.join(timeout_s)
+    if not outcome:
+        raise EvaluationTimeout(
+            f"evaluation exceeded the {timeout_s:g}s wall-clock ceiling"
+        )
+    ok, value = outcome[0]
+    if not ok:
+        raise value
+    return value
+
+
+def _evaluate_with_policy(
+    evaluator: Callable[[DesignPoint], Evaluation],
+    point: DesignPoint,
+    strict: bool,
+    policy: ExecutionPolicy,
+) -> tuple[Evaluation, dict]:
+    """Evaluate ``point`` under ``policy``; returns (evaluation, stats).
+
+    ``stats`` counts ``{"retries": n, "timeouts": n}`` for this point so
+    the driver can aggregate them into its telemetry (worker processes
+    have no ambient telemetry of their own).
+    """
+    stats = {"retries": 0, "timeouts": 0}
+    attempt = 0
+    while True:
+        try:
+            if policy.timeout_s is None:
+                return evaluator(point), stats
+            return _call_with_timeout(evaluator, point, policy.timeout_s), stats
+        except EvaluationTimeout as error:
+            stats["timeouts"] += 1
+            failure: Exception = error
+            retryable = policy.retry_timeouts
+        except Exception as error:  # noqa: BLE001 - the isolation boundary
+            failure = error
+            retryable = True
+        if retryable and attempt < policy.retries:
+            attempt += 1
+            stats["retries"] += 1
+            if policy.retry_backoff_s > 0:
+                time.sleep(policy.retry_backoff_s * 2 ** (attempt - 1))
+            continue
+        if strict:
+            raise PointEvaluationError(
+                point.describe(), f"{type(failure).__name__}: {failure}"
+            ) from failure
+        return (
+            Evaluation(
+                point=point,
+                metrics={},
+                error=f"{type(failure).__name__}: {failure}",
+            ),
+            stats,
+        )
 
 
 def evaluate_one(
     evaluator: Callable[[DesignPoint], Evaluation],
     point: DesignPoint,
     strict: bool,
+    policy: ExecutionPolicy = DEFAULT_POLICY,
 ) -> Evaluation:
     """Evaluate ``point``, isolating failures unless ``strict``.
 
     A raising design point becomes a failed :class:`Evaluation` (empty
     metrics, ``error`` set) so one pathological grid corner cannot kill an
-    hours-long sweep; ``strict=True`` restores fail-fast semantics.
+    hours-long sweep; ``strict=True`` restores fail-fast semantics (and
+    wraps the failure in :class:`PointEvaluationError` so the traceback
+    names the point).  ``policy`` adds per-point timeouts and bounded
+    retry on top; the default policy is a plain single attempt.
     """
-    try:
-        return evaluator(point)
-    except Exception as error:  # noqa: BLE001 - the isolation boundary
-        if strict:
-            raise
-        return Evaluation(
-            point=point,
-            metrics={},
-            error=f"{type(error).__name__}: {error}",
-        )
+    evaluation, _ = _evaluate_with_policy(evaluator, point, strict, policy)
+    return evaluation
 
 
 def evaluate_one_timed(
     evaluator: Callable[[DesignPoint], Evaluation],
     point: DesignPoint,
     strict: bool,
-) -> tuple[Evaluation, float]:
-    """:func:`evaluate_one` plus its wall time in seconds.
+    policy: ExecutionPolicy = DEFAULT_POLICY,
+) -> tuple[Evaluation, float, dict]:
+    """:func:`evaluate_one` plus wall time and retry/timeout stats.
 
     The timing is measured *inside* the worker so parallel sweeps report
-    true per-point latency, not per-chunk completion granularity.
+    true per-point latency, not per-chunk completion granularity; the
+    stats dict travels with the result for driver-side aggregation.
     """
     start = time.perf_counter()
-    evaluation = evaluate_one(evaluator, point, strict)
-    return evaluation, time.perf_counter() - start
+    evaluation, stats = _evaluate_with_policy(evaluator, point, strict, policy)
+    return evaluation, time.perf_counter() - start, stats
 
 
 def evaluator_fingerprint(evaluator: object) -> str:
@@ -118,25 +285,31 @@ def chunk_pending(
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(evaluator: Callable, strict: bool) -> None:
+def _init_worker(
+    evaluator: Callable, strict: bool, policy: ExecutionPolicy = DEFAULT_POLICY
+) -> None:
     """Process-pool initializer: receive the evaluator once per worker."""
     _WORKER_STATE["evaluator"] = evaluator
     _WORKER_STATE["strict"] = strict
+    _WORKER_STATE["policy"] = policy
 
 
 def _evaluate_chunk(
     chunk: list[tuple[int, DesignPoint]],
-) -> list[tuple[int, Evaluation, float]]:
+) -> list[tuple[int, Evaluation, float, dict]]:
     """Evaluate one chunk inside a pool worker (uses initializer state).
 
-    Returns ``(index, evaluation, elapsed_seconds)`` triples; the driver
-    aggregates the per-point timings into its telemetry (worker processes
-    have no ambient telemetry of their own).
+    Returns ``(index, evaluation, elapsed_seconds, stats)`` tuples; the
+    driver aggregates the per-point timings and retry/timeout stats into
+    its telemetry (worker processes have no ambient telemetry of their
+    own).
     """
     evaluator = _WORKER_STATE["evaluator"]
     strict = _WORKER_STATE["strict"]
+    policy = _WORKER_STATE.get("policy", DEFAULT_POLICY)
     return [
-        (index, *evaluate_one_timed(evaluator, point, strict)) for index, point in chunk
+        (index, *evaluate_one_timed(evaluator, point, strict, policy))
+        for index, point in chunk
     ]
 
 
@@ -144,10 +317,12 @@ def evaluate_chunk_with(
     evaluator: Callable,
     strict: bool,
     chunk: list[tuple[int, DesignPoint]],
-) -> list[tuple[int, Evaluation, float]]:
+    policy: ExecutionPolicy = DEFAULT_POLICY,
+) -> list[tuple[int, Evaluation, float, dict]]:
     """Evaluate one chunk with an explicit evaluator (thread-pool path)."""
     return [
-        (index, *evaluate_one_timed(evaluator, point, strict)) for index, point in chunk
+        (index, *evaluate_one_timed(evaluator, point, strict, policy))
+        for index, point in chunk
     ]
 
 
@@ -161,7 +336,10 @@ class EvaluationCache:
     named by the SHA-256 of the key, written atomically (temp file +
     rename) so concurrent sweeps sharing a cache directory never observe
     torn entries.  Failed evaluations are never cached: a crash is worth
-    retrying on the next run.
+    retrying on the next run.  A corrupt entry (torn write from a killed
+    process, disk error, key collision) is quarantined to ``*.corrupt``
+    on first read so it is not re-parsed -- and re-missed -- on every
+    subsequent run.
     """
 
     def __init__(self, directory: str | Path):
@@ -169,6 +347,7 @@ class EvaluationCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, fingerprint: str, point: DesignPoint) -> Path:
         key = hashlib.sha256(
@@ -176,15 +355,31 @@ class EvaluationCache:
         ).hexdigest()
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (best effort) and count it."""
+        self.corrupt += 1
+        get_active().count("cache.corrupt")
+        try:
+            os.replace(path, str(path) + ".corrupt")
+            log.warning("quarantined corrupt cache entry %s", path.name)
+        except OSError:  # pragma: no cover - raced by a concurrent sweep
+            pass
+
     def get(self, fingerprint: str, point: DesignPoint) -> Evaluation | None:
         """Cached evaluation of ``point``, or ``None``."""
         path = self._path(fingerprint, point)
         try:
-            payload = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
             if payload.get("point_description") != point.describe():
                 raise ValueError("cache key collision")
             evaluation = evaluation_from_dict(payload["evaluation"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -227,11 +422,103 @@ class SweepCheckpoint:
     Resume matches entries against the grid by *both* index and point
     description: a checkpoint from a different grid is ignored rather
     than trusted.
+
+    A sidecar lock file (``<path>.lock``) guards the writer: two
+    concurrent sweeps pointed at the same checkpoint raise
+    :class:`CheckpointLockedError` instead of interleaving appends into
+    corrupt JSONL.  On POSIX the guard is ``flock`` (released by the
+    kernel even if the holder is SIGKILLed, so no stale locks); elsewhere
+    it falls back to an exclusive-create file with a stale-pid check.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._handle = None
+        self._lock_handle = None
+
+    @property
+    def lock_path(self) -> Path:
+        return Path(str(self.path) + ".lock")
+
+    def acquire(self) -> None:
+        """Take the writer lock, or raise :class:`CheckpointLockedError`.
+
+        Idempotent for the holding instance.  Called automatically on
+        first append; the explorer calls it eagerly before loading so a
+        doomed concurrent sweep fails before any work is done.
+        """
+        if self._lock_handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            self._acquire_flock()
+        else:  # pragma: no cover - non-POSIX platform
+            self._acquire_exclusive_create()
+
+    def _acquire_flock(self) -> None:
+        # Loop: the lock file may be unlinked by a releasing holder
+        # between our open() and flock(); re-stat after locking and retry
+        # if we locked a ghost inode.
+        while True:
+            handle = open(self.lock_path, "a+")
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                raise CheckpointLockedError(
+                    f"checkpoint {self.path} is locked by another sweep "
+                    f"(lock file: {self.lock_path})"
+                ) from None
+            try:
+                if os.fstat(handle.fileno()).st_ino == os.stat(self.lock_path).st_ino:
+                    handle.seek(0)
+                    handle.truncate()
+                    handle.write(f"{os.getpid()}\n")
+                    handle.flush()
+                    self._lock_handle = handle
+                    return
+            except OSError:
+                pass  # lock file vanished underneath us: retry
+            handle.close()
+
+    def _acquire_exclusive_create(self) -> None:  # pragma: no cover - non-POSIX
+        try:
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                pid = int(Path(self.lock_path).read_text().strip() or "0")
+            except (OSError, ValueError):
+                pid = 0
+            alive = False
+            if pid > 0:
+                try:
+                    os.kill(pid, 0)
+                    alive = True
+                except OSError:
+                    alive = False
+            if alive:
+                raise CheckpointLockedError(
+                    f"checkpoint {self.path} is locked by pid {pid} "
+                    f"(lock file: {self.lock_path})"
+                ) from None
+            # Stale lock from a dead process: steal it.
+            Path(self.lock_path).unlink(missing_ok=True)
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        handle = os.fdopen(fd, "w")
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        self._lock_handle = handle
+
+    def release(self) -> None:
+        """Drop the writer lock and remove the lock file."""
+        if self._lock_handle is None:
+            return
+        try:
+            Path(self.lock_path).unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - permissions race
+            pass
+        self._lock_handle.close()
+        self._lock_handle = None
 
     def load(self, expected: dict[int, str] | None = None) -> dict[int, Evaluation]:
         """Completed evaluations by grid index (last write wins).
@@ -286,6 +573,7 @@ class SweepCheckpoint:
         if not lines:
             return
         if self._handle is None:
+            self.acquire()
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a")
         self._handle.write("".join(lines))
@@ -293,10 +581,11 @@ class SweepCheckpoint:
         os.fsync(self._handle.fileno())
 
     def close(self) -> None:
-        """Close the append handle (load remains possible)."""
+        """Close the append handle and drop the lock (load still works)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self.release()
 
     def __enter__(self) -> "SweepCheckpoint":
         return self

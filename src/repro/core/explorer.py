@@ -24,15 +24,23 @@ import os
 import pickle
 import time
 from collections.abc import Callable, Iterable
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.execution import (
+    DEFAULT_POLICY,
     EXECUTORS,
     EvaluationCache,
+    ExecutionPolicy,
     SweepCheckpoint,
     _evaluate_chunk,
     _init_worker,
@@ -84,6 +92,14 @@ class FrontEndEvaluator:
         Optional ``f(point) -> Reconstructor`` override; default is
         batched FISTA on a DCT basis (lam_rel 0.002, 300 iterations) --
         the configuration all paper experiments use.
+    chain_transform:
+        Optional ``f(chain, point, point_seed) -> chain`` applied to the
+        freshly built chain before simulation -- the hook the fault-
+        injection layer (:class:`repro.faults.FaultSuite`) uses to wrap
+        blocks with non-idealities without the evaluator knowing about
+        faults.  Must be picklable for process sweeps, and should expose
+        ``fingerprint()`` (or a stable ``describe()``) so transformed and
+        clean evaluations never share a cache key.
     """
 
     def __init__(
@@ -94,6 +110,7 @@ class FrontEndEvaluator:
         detector: SeizureDetector | None = None,
         seed: int = 0,
         reconstructor_factory: Callable[[DesignPoint], Reconstructor] | None = None,
+        chain_transform: Callable[..., object] | None = None,
     ):
         self.records = np.asarray(records, dtype=np.float64)
         if self.records.ndim != 2:
@@ -109,7 +126,24 @@ class FrontEndEvaluator:
             raise ValueError("detector must be fitted before exploration")
         self.seed = int(seed)
         self.reconstructor_factory = reconstructor_factory or self._default_reconstructor
+        self.chain_transform = chain_transform
         self._basis_cache: dict[int, np.ndarray] = {}
+
+    def with_chain_transform(
+        self, chain_transform: Callable[..., object] | None
+    ) -> "FrontEndEvaluator":
+        """Shallow clone evaluating through ``chain_transform``.
+
+        The corpus/labels/detector are shared (they are read-only during
+        evaluation), so cloning per fault configuration is cheap -- the
+        Monte-Carlo yield runner creates one clone per (severity,
+        realisation) cell.
+        """
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.chain_transform = chain_transform
+        clone._basis_cache = {}
+        return clone
 
     def _default_reconstructor(self, point: DesignPoint) -> Reconstructor:
         basis = self._basis_cache.get(point.cs_n_phi)
@@ -148,6 +182,16 @@ class FrontEndEvaluator:
         else:
             factory_tag = getattr(factory, "__qualname__", type(factory).__qualname__)
         digest.update(factory_tag.encode())
+        transform = self.chain_transform
+        if transform is not None:
+            tag = getattr(transform, "fingerprint", None)
+            if callable(tag):
+                transform_tag = str(tag())
+            else:
+                transform_tag = getattr(
+                    transform, "__qualname__", type(transform).__qualname__
+                )
+            digest.update(f"chain_transform={transform_tag}".encode())
         return digest.hexdigest()
 
     # --- single-point evaluation ---------------------------------------------
@@ -192,6 +236,8 @@ class FrontEndEvaluator:
             )
         else:
             chain = build_baseline_chain(point, seed=point_seed)
+        if self.chain_transform is not None:
+            chain = self.chain_transform(chain, point, point_seed)
 
         stream = Signal(self.records.reshape(-1), sample_rate=self.sample_rate)
         result = Simulator(chain, point, seed=derive_seed(point_seed, "run")).run(
@@ -251,6 +297,10 @@ class DesignSpaceExplorer:
         checkpoint: str | Path | None = None,
         strict: bool = False,
         telemetry: Telemetry | None = None,
+        policy: ExecutionPolicy | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.5,
     ) -> ExplorationResult:
         """Evaluate every point of ``space``.
 
@@ -294,9 +344,38 @@ class DesignSpaceExplorer:
             unless one was activated.  Progress events follow *completion*
             order under parallel executors; aggregation (the returned
             result, latency stats) is always in grid order.
+        policy:
+            :class:`~repro.core.execution.ExecutionPolicy` applied to every
+            point (wall-clock timeout, bounded retry with exponential
+            backoff).  The convenience parameters below build one when
+            ``policy`` is not given; passing both is an error.
+        timeout_s, retries, retry_backoff_s:
+            Shorthand for ``policy=ExecutionPolicy(...)``.  A timed-out
+            point becomes a failed :class:`Evaluation` (non-strict) so a
+            hung reconstruction cannot stall the sweep; ``retries`` bounds
+            re-attempts of *failing* (not timed-out) points.
+
+        Hardened semantics (non-strict):
+
+        * A worker process killed mid-sweep (OOM, segfault) breaks the
+          process pool; the pool is resurrected and unfinished chunks are
+          re-dispatched.  If it breaks again, dispatch degrades to
+          one-point-at-a-time isolation so the next crash is attributed
+          to exactly the in-flight point, which is recorded as a failed
+          evaluation while every other point completes normally.
+        * ``KeyboardInterrupt`` stops dispatch, fills the unevaluated
+          slots with failed evaluations (``error`` starting with
+          ``"Interrupted"``) *without* checkpointing them -- so a resumed
+          run retries them -- and returns the partial result.
         """
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+        if policy is None:
+            policy = ExecutionPolicy(
+                timeout_s=timeout_s, retries=retries, retry_backoff_s=retry_backoff_s
+            )
+        elif timeout_s is not None or retries or retry_backoff_s != 0.5:
+            raise ValueError("pass either policy or timeout_s/retries, not both")
         if isinstance(space, (ParameterSpace, CompositeSpace)):
             points = list(space.grid(base))
         else:
@@ -316,6 +395,10 @@ class DesignSpaceExplorer:
         ckpt = SweepCheckpoint(checkpoint) if checkpoint is not None else None
         restored: dict[int, Evaluation] = {}
         if ckpt is not None:
+            # Take the writer lock before loading: a doomed concurrent
+            # sweep sharing the checkpoint path fails here, before any
+            # evaluation work is spent.
+            ckpt.acquire()
             expected = {i: p.describe() for i, p in enumerate(points)}
             restored = ckpt.load(expected)
 
@@ -332,6 +415,7 @@ class DesignSpaceExplorer:
             evaluation: Evaluation,
             record: bool = True,
             elapsed: float | None = None,
+            stats: dict | None = None,
         ) -> None:
             nonlocal completed
             results[index] = evaluation
@@ -343,6 +427,11 @@ class DesignSpaceExplorer:
             if tel.enabled:
                 if elapsed is not None:
                     tel.record("explore.point_seconds", elapsed)
+                if stats:
+                    if stats.get("retries"):
+                        tel.count("explore.retries", stats["retries"])
+                    if stats.get("timeouts"):
+                        tel.count("explore.timeouts", stats["timeouts"])
                 if evaluation.error is not None:
                     tel.count("explore.failures")
                 run_elapsed = time.perf_counter() - start_time
@@ -399,16 +488,46 @@ class DesignSpaceExplorer:
                 if mirrored and ckpt is not None:
                     ckpt.append_many(mirrored)
 
-                if pending and executor == "serial":
-                    for index, point in pending:
-                        evaluation, elapsed = evaluate_one_timed(
-                            self.evaluator, point, strict
+                try:
+                    if pending and executor == "serial":
+                        for index, point in pending:
+                            evaluation, elapsed, stats = evaluate_one_timed(
+                                self.evaluator, point, strict, policy
+                            )
+                            finalize(index, evaluation, elapsed=elapsed, stats=stats)
+                    elif pending:
+                        self._run_parallel(
+                            pending,
+                            executor,
+                            n_workers,
+                            chunk_size,
+                            strict,
+                            policy,
+                            finalize,
+                            tel,
                         )
-                        finalize(index, evaluation, elapsed=elapsed)
-                elif pending:
-                    self._run_parallel(
-                        pending, executor, n_workers, chunk_size, strict, finalize
+                except KeyboardInterrupt:
+                    if strict:
+                        raise
+                    tel.count("explore.interrupted")
+                    log.warning(
+                        "sweep interrupted after %d/%d points; returning partial "
+                        "results (unevaluated points are marked failed and are "
+                        "NOT checkpointed, so a resumed run retries them)",
+                        completed,
+                        total,
                     )
+                    for index, point in enumerate(points):
+                        if results[index] is None:
+                            # Deliberately bypasses finalize: an interrupted
+                            # placeholder must reach neither the checkpoint
+                            # nor the cache.
+                            results[index] = Evaluation(
+                                point=point,
+                                metrics={},
+                                error="Interrupted: sweep stopped before this "
+                                "point was evaluated",
+                            )
         finally:
             if ckpt is not None:
                 ckpt.close()
@@ -421,31 +540,162 @@ class DesignSpaceExplorer:
         n_workers: int | None,
         chunk_size: int | None,
         strict: bool,
+        policy: ExecutionPolicy,
         finalize: Callable[..., None],
+        tel: Telemetry,
     ) -> None:
         """Fan ``pending`` out over a pool, finalising in completion order."""
         workers = n_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(pending)))
         chunks = chunk_pending(pending, workers, chunk_size)
         if executor == "process":
-            pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(self.evaluator, strict),
-            )
-            task = _evaluate_chunk
-        else:
-            pool = ThreadPoolExecutor(max_workers=workers)
-            task = partial(evaluate_chunk_with, self.evaluator, strict)
+            self._run_process_pool(chunks, workers, strict, policy, finalize, tel)
+            return
+        pool = ThreadPoolExecutor(max_workers=workers)
+        task = partial(evaluate_chunk_with, self.evaluator, strict, policy=policy)
         with pool:
             futures = {pool.submit(task, chunk) for chunk in chunks}
             try:
                 while futures:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        for index, evaluation, elapsed in future.result():
-                            finalize(index, evaluation, elapsed=elapsed)
+                        for index, evaluation, elapsed, stats in future.result():
+                            finalize(index, evaluation, elapsed=elapsed, stats=stats)
             except BaseException:
                 for future in futures:
                     future.cancel()
                 raise
+
+    def _run_process_pool(
+        self,
+        chunks: list[list[tuple[int, DesignPoint]]],
+        workers: int,
+        strict: bool,
+        policy: ExecutionPolicy,
+        finalize: Callable[..., None],
+        tel: Telemetry,
+    ) -> None:
+        """Process-pool dispatch with crash recovery.
+
+        A worker killed by the OS (OOM, segfault, ``os._exit``) breaks the
+        whole :class:`ProcessPoolExecutor`: every in-flight and queued
+        future raises :class:`BrokenProcessPool` with no indication of the
+        culprit.  Recovery ladder (non-strict):
+
+        1. First break: resurrect the pool and re-dispatch every
+           unfinished chunk unchanged -- a transient kill (OOM pressure)
+           costs one pool restart and the lost chunks' work.
+        2. Further breaks: degrade to one-point-at-a-time dispatch, so a
+           deterministic crasher is attributed to exactly the in-flight
+           point.  That point is finalised as a failed
+           :class:`Evaluation`; the pool is resurrected and every other
+           point still completes.
+
+        The ladder terminates: isolation mode removes one point (the
+        crasher) per break.  ``strict=True`` re-raises the first break.
+        """
+
+        def make_pool(pool_workers: int) -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=pool_workers,
+                initializer=_init_worker,
+                initargs=(self.evaluator, strict, policy),
+            )
+
+        remaining: dict[int, list[tuple[int, DesignPoint]]] = dict(enumerate(chunks))
+        breaks = 0
+        while remaining:
+            pool = make_pool(min(workers, len(remaining)))
+            try:
+                with pool:
+                    futures = {
+                        pool.submit(_evaluate_chunk, chunk): key
+                        for key, chunk in remaining.items()
+                    }
+                    try:
+                        while futures:
+                            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                            for future in done:
+                                key = futures.pop(future)
+                                rows = future.result()
+                                del remaining[key]
+                                for index, evaluation, elapsed, stats in rows:
+                                    finalize(
+                                        index, evaluation, elapsed=elapsed, stats=stats
+                                    )
+                    except BrokenProcessPool:
+                        raise
+                    except BaseException:
+                        for future in futures:
+                            future.cancel()
+                        raise
+                return
+            except BrokenProcessPool:
+                if strict:
+                    raise
+                breaks += 1
+                tel.count("explore.pool_restarts")
+                log.warning(
+                    "process pool broke (a worker died); restarting and "
+                    "re-dispatching %d unfinished chunk(s) [break #%d]",
+                    len(remaining),
+                    breaks,
+                )
+                if breaks >= 2:
+                    # Two breaks suggest a deterministic crasher somewhere
+                    # in the remaining points: find and excise it.
+                    points = [pair for chunk in remaining.values() for pair in chunk]
+                    self._isolate_crashers(points, strict, policy, finalize, tel)
+                    return
+
+    def _isolate_crashers(
+        self,
+        points: list[tuple[int, DesignPoint]],
+        strict: bool,
+        policy: ExecutionPolicy,
+        finalize: Callable[..., None],
+        tel: Telemetry,
+    ) -> None:
+        """One-point-at-a-time dispatch: attribute crashes exactly.
+
+        Runs each remaining point as its own single-point chunk with only
+        one task in flight, so a :class:`BrokenProcessPool` names the
+        culprit unambiguously.  The crasher is finalised as a failed
+        evaluation; everything else completes.  Slower than chunked
+        dispatch -- but this is the degraded mode after two pool breaks,
+        trading throughput for guaranteed completion.
+        """
+        queue = list(points)
+        while queue:
+            pool = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_worker,
+                initargs=(self.evaluator, strict, policy),
+            )
+            try:
+                with pool:
+                    while queue:
+                        index, point = queue[0]
+                        rows = pool.submit(_evaluate_chunk, [(index, point)]).result()
+                        queue.pop(0)
+                        for idx, evaluation, elapsed, stats in rows:
+                            finalize(idx, evaluation, elapsed=elapsed, stats=stats)
+            except BrokenProcessPool:
+                index, point = queue.pop(0)
+                tel.count("explore.pool_restarts")
+                tel.count("explore.worker_crashes")
+                log.warning(
+                    "worker process died evaluating point %d (%s); recorded as "
+                    "a failed evaluation",
+                    index,
+                    point.describe(),
+                )
+                finalize(
+                    index,
+                    Evaluation(
+                        point=point,
+                        metrics={},
+                        error="WorkerCrashed: worker process died (killed or "
+                        "crashed) while evaluating this point",
+                    ),
+                )

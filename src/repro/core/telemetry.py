@@ -48,7 +48,9 @@ from pathlib import Path
 log = logging.getLogger("repro.telemetry")
 
 #: Version stamp of the :class:`RunManifest` JSON schema.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the ``robustness`` section (fault/retry/timeout accounting and
+#: yield-analysis digests) and the hardened-execution counters in ``sweep``.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -353,6 +355,9 @@ class RunManifest:
     block_power_w: dict = field(default_factory=dict)
     #: Sweep statistics: cache hits/misses, restores, failures, latency.
     sweep: dict = field(default_factory=dict)
+    #: Robustness accounting: fault/retry/timeout counters and, for yield
+    #: runs, the severity grid, clean references and yield curves.
+    robustness: dict = field(default_factory=dict)
     #: Completion-order progress events (done/total/elapsed/ETA).
     eta_history: list = field(default_factory=list)
     environment: dict = field(default_factory=dict)

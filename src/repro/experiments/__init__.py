@@ -23,6 +23,14 @@ from repro.experiments.fig7 import (
 from repro.experiments.fig8 import Fig8Result, analyze_fig8
 from repro.experiments.fig9 import Fig9Result, analyze_fig9
 from repro.experiments.fig10 import DEFAULT_AREA_CAPS, Fig10Result, analyze_fig10
+from repro.experiments.robustness import (
+    DEFAULT_FAULT_SUITE,
+    DEFAULT_MAX_DEGRADATION,
+    DEFAULT_SEVERITIES,
+    build_robustness_manifest,
+    render_robustness,
+    run_robustness,
+)
 from repro.experiments.runner import (
     F_SAMPLE,
     SCALES,
@@ -54,7 +62,10 @@ __all__ = [
     "CS_M_SWEEP",
     "CS_N_PHI",
     "DEFAULT_AREA_CAPS",
+    "DEFAULT_FAULT_SUITE",
+    "DEFAULT_MAX_DEGRADATION",
     "DEFAULT_NOISE_SWEEP_UV",
+    "DEFAULT_SEVERITIES",
     "ExperimentHarness",
     "ExperimentScale",
     "F_SAMPLE",
@@ -79,6 +90,7 @@ __all__ = [
     "analyze_fig8",
     "analyze_fig9",
     "augment_training_set",
+    "build_robustness_manifest",
     "build_run_manifest",
     "make_harness",
     "profile_representative_point",
@@ -88,6 +100,8 @@ __all__ = [
     "reference_operating_points",
     "render_fig4",
     "render_front",
+    "render_robustness",
+    "run_robustness",
     "render_table1",
     "render_table2",
     "render_table3",

@@ -279,6 +279,8 @@ def _run_sweep(
     cache_dir: str | None,
     progress: Callable[[int, Evaluation], None] | None = None,
     telemetry: Telemetry | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
 ) -> ExplorationResult:
     harness = make_harness(scale_name)
     explorer = DesignSpaceExplorer(harness.evaluator)
@@ -291,6 +293,8 @@ def _run_sweep(
         cache=cache_dir,
         progress=progress,
         telemetry=telemetry,
+        timeout_s=timeout_s,
+        retries=retries,
     )
 
 
@@ -301,8 +305,18 @@ def _sweep_cached(
     n_workers: int | None,
     checkpoint: str | None,
     cache_dir: str | None,
+    timeout_s: float | None = None,
+    retries: int = 0,
 ) -> ExplorationResult:
-    return _run_sweep(scale_name, executor, n_workers, checkpoint, cache_dir)
+    return _run_sweep(
+        scale_name,
+        executor,
+        n_workers,
+        checkpoint,
+        cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
 
 
 def run_search_space(
@@ -314,6 +328,8 @@ def run_search_space(
     cache_dir: str | None = None,
     progress: Callable[[int, Evaluation], None] | None = None,
     telemetry: Telemetry | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
 ) -> ExplorationResult:
     """The Fig. 7 search-space sweep (cached per scale; Figs. 8-10 reuse it).
 
@@ -325,7 +341,8 @@ def run_search_space(
     through to :meth:`DesignSpaceExplorer.explore`, as are ``progress``
     (live per-point callback) and ``telemetry`` (sweep statistics sink) --
     runs observed through either bypass the in-process memo so the
-    observers actually fire.
+    observers actually fire.  ``timeout_s``/``retries`` harden the run
+    (per-point wall-clock ceiling, bounded retry of transient failures).
     """
     if scale is None:
         scale = active_scale()
@@ -336,9 +353,19 @@ def run_search_space(
         executor = "process" if (n_workers or 1) > 1 else "serial"
     if progress is not None or telemetry is not None:
         return _run_sweep(
-            name, executor, n_workers, checkpoint, cache_dir, progress, telemetry
+            name,
+            executor,
+            n_workers,
+            checkpoint,
+            cache_dir,
+            progress,
+            telemetry,
+            timeout_s=timeout_s,
+            retries=retries,
         )
-    return _sweep_cached(name, executor, n_workers, checkpoint, cache_dir)
+    return _sweep_cached(
+        name, executor, n_workers, checkpoint, cache_dir, timeout_s, retries
+    )
 
 
 def profile_representative_point(
@@ -428,6 +455,12 @@ def build_run_manifest(
             "cache_misses": counters.get("explore.cache_misses", 0),
             "checkpoint_restored": counters.get("explore.checkpoint_restored", 0),
             "progress_errors": counters.get("explore.progress_errors", 0),
+            "cache_corrupt": counters.get("cache.corrupt", 0),
+            "timeouts": counters.get("explore.timeouts", 0),
+            "retries": counters.get("explore.retries", 0),
+            "pool_restarts": counters.get("explore.pool_restarts", 0),
+            "worker_crashes": counters.get("explore.worker_crashes", 0),
+            "interrupted": counters.get("explore.interrupted", 0),
             "point_seconds": point_stats,
             "representative_point": (
                 representative.point.describe() if representative else None

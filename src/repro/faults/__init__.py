@@ -1,0 +1,45 @@
+"""Fault injection and yield analysis for the simulated front-ends.
+
+Three layers:
+
+* :mod:`repro.faults.models` -- :class:`FaultModel` and the concrete
+  non-idealities (dropouts, ADC bit faults, saturation bursts, gain
+  drift, packet loss, NaN glitches), each a frozen picklable dataclass
+  scaled by one ``severity`` knob.
+* :mod:`repro.faults.injection` -- :class:`FaultBlock` (wraps a victim
+  block without modifying it), :func:`inject` (applies a plan to a
+  chain) and :class:`FaultSuite` (the picklable plan that plugs into
+  :class:`~repro.core.explorer.FrontEndEvaluator` as a chain transform).
+* :mod:`repro.faults.montecarlo` -- :class:`MonteCarloYield`, sweeping
+  fault severity x chip realisations into a yield/degradation table.
+"""
+
+from repro.faults.injection import FaultBlock, FaultSuite, inject
+from repro.faults.models import (
+    AdcBitFlip,
+    AdcStuckBit,
+    FaultModel,
+    GainDrift,
+    NanGlitch,
+    PacketLoss,
+    SampleDropout,
+    SaturationBurst,
+)
+from repro.faults.montecarlo import MonteCarloYield, YieldResult, YieldRow
+
+__all__ = [
+    "AdcBitFlip",
+    "AdcStuckBit",
+    "FaultBlock",
+    "FaultModel",
+    "FaultSuite",
+    "GainDrift",
+    "MonteCarloYield",
+    "NanGlitch",
+    "PacketLoss",
+    "SampleDropout",
+    "SaturationBurst",
+    "YieldResult",
+    "YieldRow",
+    "inject",
+]

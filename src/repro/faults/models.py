@@ -1,0 +1,363 @@
+"""Composable fault models for the simulated front-end.
+
+Each :class:`FaultModel` is a *frozen, picklable description* of one
+non-ideality, parameterised by a single ``severity`` knob in [0, 1] so a
+Monte-Carlo yield sweep can scale every model with one axis.  Models do
+not modify the blocks they afflict: a
+:class:`~repro.faults.injection.FaultBlock` wraps the victim block and
+calls :meth:`FaultModel.apply_input` / :meth:`FaultModel.apply_output`
+around its ``process``, drawing randomness from a dedicated named stream
+of the simulation's seed registry.  Because the victim keeps its own
+stream untouched, a chain with all severities at zero is *bit-identical*
+to the unwrapped chain -- the invariant the determinism tests pin.
+
+Severity semantics by model (all linear in ``severity`` unless noted):
+
+========================  ====================================================
+model                     ``severity`` scales ...
+========================  ====================================================
+:class:`SampleDropout`    fraction of samples dropped (up to ``max_rate``)
+:class:`AdcBitFlip`       fraction of conversions with one flipped bit
+:class:`AdcStuckBit`      probability this chip instance has a stuck bit
+:class:`SaturationBurst`  fraction of samples inside saturation bursts, and
+                          the supply-droop clip-level reduction
+:class:`GainDrift`        peak relative gain drift over the record
+:class:`PacketLoss`       fraction of TX packets/frames lost
+:class:`NanGlitch`        probability the stream is hit by NaN glitches
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+from repro.core.signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.block import Block
+
+
+def _forward_fill(data: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Replace dropped samples with the last kept value (along last axis).
+
+    A dropped leading sample holds the original first value -- there is
+    nothing earlier to hold.  Vectorised: the index of the last kept
+    sample at each position is a running maximum over kept indices.
+    """
+    n = data.shape[-1]
+    positions = np.broadcast_to(np.arange(n), data.shape)
+    held = np.maximum.accumulate(np.where(keep, positions, 0), axis=-1)
+    return np.take_along_axis(data, held, axis=-1)
+
+
+@dataclass(frozen=True)
+class FaultModel(abc.ABC):
+    """One injectable non-ideality; subclass and override an ``apply_*``.
+
+    Frozen dataclass: instances are immutable, hashable, picklable (they
+    cross process boundaries inside sweep evaluators) and cheap to clone
+    at a different severity via :meth:`scaled`.
+
+    ``severity`` is the single scaling knob, 0 (fault absent -- both
+    hooks must be exact no-ops) to 1 (worst case the model describes).
+    """
+
+    severity: float = 0.1
+
+    #: Short slug identifying the model kind in stream names/fingerprints.
+    kind: ClassVar[str] = "fault"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(f"severity must be in [0, 1], got {self.severity}")
+
+    def apply_input(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        """Corrupt the signal *entering* the wrapped block (default no-op)."""
+        del rng, block
+        return signal
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        """Corrupt the signal *leaving* the wrapped block (default no-op)."""
+        del rng, block
+        return signal
+
+    def scaled(self, severity: float) -> "FaultModel":
+        """Clone of this model at a different severity."""
+        return dataclasses.replace(self, severity=severity)
+
+    def describe(self) -> str:
+        """Stable textual identity (feeds evaluator cache fingerprints)."""
+        fields = ",".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+        )
+        return f"{self.kind}({fields})"
+
+
+@dataclass(frozen=True)
+class SampleDropout(FaultModel):
+    """Random sample dropouts: the hold/readout chain misses conversions.
+
+    A fraction ``severity * max_rate`` of output samples is replaced by
+    the previous held value (``mode="hold"``, the S&H's natural failure)
+    or by zero (``mode="zero"``).
+    """
+
+    max_rate: float = 0.1
+    mode: str = "hold"
+
+    kind: ClassVar[str] = "sample_dropout"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.max_rate <= 1.0:
+            raise ValueError(f"max_rate must be in [0, 1], got {self.max_rate}")
+        if self.mode not in ("hold", "zero"):
+            raise ValueError(f"mode must be 'hold' or 'zero', got {self.mode!r}")
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        del block
+        p = self.severity * self.max_rate
+        if p <= 0:
+            return signal
+        keep = rng.random(signal.data.shape) >= p
+        if keep.all():
+            return signal
+        if self.mode == "zero":
+            data = np.where(keep, signal.data, 0.0)
+        else:
+            data = _forward_fill(signal.data, keep)
+        return signal.replaced(data=data)
+
+
+@dataclass(frozen=True)
+class AdcBitFlip(FaultModel):
+    """Transient single-bit errors in ADC conversions.
+
+    A fraction ``severity * max_rate`` of conversions has one uniformly
+    chosen output bit flipped -- a metastable latch or an SEU in the SAR
+    register.  Wraps the ADC block (needs ``n_bits``/``v_fs``, taken from
+    the signal's ``adc_bits``/``adc_v_fs`` annotations).
+    """
+
+    max_rate: float = 0.02
+
+    kind: ClassVar[str] = "adc_bit_flip"
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        p = self.severity * self.max_rate
+        if p <= 0:
+            return signal
+        n_bits = signal.annotations.get("adc_bits", getattr(block, "n_bits", None))
+        v_fs = signal.annotations.get("adc_v_fs", getattr(block, "v_fs", None))
+        if n_bits is None or v_fs is None:
+            raise ValueError(
+                f"{self.kind} needs adc_bits/adc_v_fs annotations (or an ADC "
+                f"block); wrap the ADC, not {block.name!r}"
+            )
+        lsb = v_fs / 2.0**n_bits
+        codes = np.round((signal.data + v_fs / 2.0 - lsb / 2.0) / lsb).astype(np.int64)
+        hit = rng.random(codes.shape) < p
+        if not hit.any():
+            return signal
+        bits = rng.integers(0, n_bits, size=codes.shape)
+        flipped = np.where(hit, codes ^ (np.int64(1) << bits), codes)
+        data = flipped * lsb - v_fs / 2.0 + lsb / 2.0
+        return signal.replaced(data=data)
+
+
+@dataclass(frozen=True)
+class AdcStuckBit(FaultModel):
+    """A manufacturing defect: one ADC output bit stuck at 0 or 1.
+
+    Per *chip realisation* the defect either exists (probability
+    ``severity``) or not; an afflicted instance has one uniformly chosen
+    bit stuck at a uniformly chosen level for every conversion.  ``bit``
+    pins the afflicted bit (LSB = 0) for targeted experiments.
+    """
+
+    bit: int | None = None
+
+    kind: ClassVar[str] = "adc_stuck_bit"
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        if self.severity <= 0 or rng.random() >= self.severity:
+            return signal
+        n_bits = signal.annotations.get("adc_bits", getattr(block, "n_bits", None))
+        v_fs = signal.annotations.get("adc_v_fs", getattr(block, "v_fs", None))
+        if n_bits is None or v_fs is None:
+            raise ValueError(
+                f"{self.kind} needs adc_bits/adc_v_fs annotations (or an ADC "
+                f"block); wrap the ADC, not {block.name!r}"
+            )
+        bit = self.bit if self.bit is not None else int(rng.integers(0, n_bits))
+        stuck_high = bool(rng.integers(0, 2))
+        lsb = v_fs / 2.0**n_bits
+        codes = np.round((signal.data + v_fs / 2.0 - lsb / 2.0) / lsb).astype(np.int64)
+        mask = np.int64(1) << bit
+        codes = (codes | mask) if stuck_high else (codes & ~mask)
+        data = codes * lsb - v_fs / 2.0 + lsb / 2.0
+        return signal.replaced(data=data)
+
+
+@dataclass(frozen=True)
+class SaturationBurst(FaultModel):
+    """Supply-droop saturation bursts at the LNA output.
+
+    Models interference/motion artefacts driving the amplifier into its
+    rails: random bursts of ``burst_length`` samples, together covering a
+    fraction ``severity * max_fraction`` of the record, are clipped to a
+    droop-reduced level ``clip_level * (1 - droop * severity)``.
+    """
+
+    max_fraction: float = 0.25
+    burst_length: int = 64
+    droop: float = 0.6
+
+    kind: ClassVar[str] = "saturation_burst"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_length < 1:
+            raise ValueError(f"burst_length must be >= 1, got {self.burst_length}")
+        if not 0.0 < self.droop <= 1.0:
+            raise ValueError(f"droop must be in (0, 1], got {self.droop}")
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        fraction = self.severity * self.max_fraction
+        if fraction <= 0:
+            return signal
+        data = signal.data
+        flat = data.reshape(-1)
+        n = flat.size
+        n_bursts = max(1, int(round(fraction * n / self.burst_length)))
+        starts = rng.integers(0, max(1, n - self.burst_length + 1), size=n_bursts)
+        clip_level = getattr(block, "clip_level", None) or float(
+            np.max(np.abs(flat)) or 1.0
+        )
+        level = clip_level * (1.0 - self.droop * self.severity)
+        in_burst = np.zeros(n, dtype=bool)
+        for start in starts:
+            in_burst[start : start + self.burst_length] = True
+        clipped = np.where(in_burst, np.clip(flat, -level, level), flat)
+        return signal.replaced(data=clipped.reshape(data.shape))
+
+
+@dataclass(frozen=True)
+class GainDrift(FaultModel):
+    """Slow multiplicative gain drift (supply/temperature wander).
+
+    The block's output is scaled by ``1 + a sin(2 pi f t + phi)`` with
+    peak deviation ``a = severity * max_drift``; the drift completes one
+    to three cycles over the record (drawn per realisation, with random
+    phase), so the error is strongly correlated in time -- unlike white
+    noise, which the chains already model.
+    """
+
+    max_drift: float = 0.2
+
+    kind: ClassVar[str] = "gain_drift"
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        del block
+        amplitude = self.severity * self.max_drift
+        if amplitude <= 0:
+            return signal
+        data = signal.data
+        n = data.reshape(-1).size
+        cycles = rng.uniform(1.0, 3.0)
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        t = np.arange(n) / n
+        drift = 1.0 + amplitude * np.sin(2.0 * np.pi * cycles * t + phase)
+        return signal.replaced(data=(data.reshape(-1) * drift).reshape(data.shape))
+
+
+@dataclass(frozen=True)
+class PacketLoss(FaultModel):
+    """Lost transmitter packets.
+
+    A fraction ``severity * max_rate`` of packets never reaches the
+    receiver and is read as zeros.  On a framed (2-D) stream -- the CS
+    chain's (n_frames, M) measurements -- a packet is a frame (row); on a
+    1-D stream a packet is ``packet_samples`` consecutive samples.
+    """
+
+    max_rate: float = 0.3
+    packet_samples: int = 64
+
+    kind: ClassVar[str] = "packet_loss"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.packet_samples < 1:
+            raise ValueError(
+                f"packet_samples must be >= 1, got {self.packet_samples}"
+            )
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        del block
+        p = self.severity * self.max_rate
+        if p <= 0:
+            return signal
+        data = signal.data
+        if data.ndim == 2:
+            lost = rng.random(data.shape[0]) < p
+            if not lost.any():
+                return signal
+            return signal.replaced(data=np.where(lost[:, None], 0.0, data))
+        flat = data.reshape(-1)
+        n_packets = -(-flat.size // self.packet_samples)
+        lost = np.repeat(rng.random(n_packets) < p, self.packet_samples)[: flat.size]
+        if not lost.any():
+            return signal
+        return signal.replaced(data=np.where(lost, 0.0, flat).reshape(data.shape))
+
+
+@dataclass(frozen=True)
+class NanGlitch(FaultModel):
+    """Non-finite values entering the digital back-end.
+
+    With probability ``severity`` the record suffers a glitch episode: a
+    fraction ``max_rate`` of samples (at least one) becomes NaN --
+    un-initialised buffer reads or radio CRC escapes.  This is the
+    poison-pill fault: it validates that NaN propagates into *failed*
+    yield rows (not silently optimistic metrics) and that the sweep
+    machinery survives a solver chewing on NaN input.
+    """
+
+    max_rate: float = 0.005
+
+    kind: ClassVar[str] = "nan_glitch"
+
+    def apply_output(
+        self, signal: Signal, rng: np.random.Generator, block: "Block"
+    ) -> Signal:
+        del block
+        if self.severity <= 0 or rng.random() >= self.severity:
+            return signal
+        data = signal.data.astype(np.float64, copy=True)
+        flat = data.reshape(-1)
+        n_hit = max(1, int(round(self.max_rate * flat.size)))
+        flat[rng.choice(flat.size, size=n_hit, replace=False)] = np.nan
+        return signal.replaced(data=data)

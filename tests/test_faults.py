@@ -1,0 +1,262 @@
+"""Tests of the fault-injection subsystem (repro.faults)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.blocks.chains import build_baseline_chain, build_cs_chain
+from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
+from repro.core.signal import Signal
+from repro.core.simulator import Simulator
+from repro.faults import (
+    AdcBitFlip,
+    AdcStuckBit,
+    FaultBlock,
+    FaultSuite,
+    GainDrift,
+    NanGlitch,
+    PacketLoss,
+    SampleDropout,
+    SaturationBurst,
+    inject,
+)
+from repro.faults.models import _forward_fill
+from repro.power.technology import DesignPoint
+from tests.test_explorer import FS, small_corpus
+
+BASELINE_POINT = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+CS_POINT = DesignPoint(n_bits=8, lna_noise_rms=8e-6, use_cs=True, cs_m=150)
+
+ALL_MODELS = (
+    ("lna", SaturationBurst(severity=1.0)),
+    ("lna", GainDrift(severity=1.0)),
+    ("sample_hold", SampleDropout(severity=1.0)),
+    ("adc", AdcBitFlip(severity=1.0)),
+    ("adc", AdcStuckBit(severity=1.0)),
+    ("transmitter", PacketLoss(severity=1.0)),
+    ("transmitter", NanGlitch(severity=1.0)),
+)
+
+
+def sine_stream(n=2304):
+    t = np.arange(n) / FS
+    rng = np.random.default_rng(3)
+    # Near-full-scale at the LNA output (0.9e-3 V * gain 1000 = 0.9 V vs a
+    # 1.0 V clip level) so saturation faults have something to bite on.
+    data = 0.9e-3 * np.sin(2 * np.pi * 11.0 * t) + rng.normal(0, 2e-6, n)
+    return Signal(data, sample_rate=FS)
+
+
+def run_chain(point, suite=None, chain_seed=1, run_seed=7):
+    builder = build_cs_chain if point.use_cs else build_baseline_chain
+    chain = builder(point, seed=chain_seed)
+    if suite is not None:
+        chain = suite(chain, point, chain_seed)
+    return Simulator(chain, point, seed=run_seed).run(
+        sine_stream(), record_taps=False
+    )
+
+
+class TestSeverityZeroInvariant:
+    def test_zero_severity_is_bit_identical_to_clean(self):
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.0)
+        clean = run_chain(BASELINE_POINT)
+        wrapped = run_chain(BASELINE_POINT, suite)
+        np.testing.assert_array_equal(clean.output.data, wrapped.output.data)
+        assert clean.power.total == wrapped.power.total
+
+    def test_zero_severity_cs_chain(self):
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.0)
+        clean = run_chain(CS_POINT)
+        wrapped = run_chain(CS_POINT, suite)
+        np.testing.assert_array_equal(clean.output.data, wrapped.output.data)
+
+
+class TestDeterminism:
+    def test_same_seed_same_realisation_bit_identical(self):
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.5)
+        a = run_chain(BASELINE_POINT, suite)
+        b = run_chain(BASELINE_POINT, suite)
+        np.testing.assert_array_equal(a.output.data, b.output.data)
+
+    def test_realisation_changes_fault_pattern(self):
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.5)
+        a = run_chain(BASELINE_POINT, suite)
+        c = run_chain(BASELINE_POINT, suite.with_realisation(1))
+        assert not np.array_equal(a.output.data, c.output.data, equal_nan=True)
+
+    def test_faults_do_not_perturb_victim_noise_streams(self):
+        # A fault on the transmitter must leave the LNA/ADC noise draws
+        # untouched: outputs differ only where the fault acts.
+        suite = FaultSuite(entries=(("transmitter", PacketLoss(severity=0.4)),))
+        clean = run_chain(BASELINE_POINT)
+        faulty = run_chain(BASELINE_POINT, suite)
+        lost = faulty.output.data == 0.0
+        assert lost.any()
+        # Normalizer rescales by the same LNA gain, so surviving samples
+        # are exactly the clean ones.
+        np.testing.assert_array_equal(
+            clean.output.data[~lost], faulty.output.data[~lost]
+        )
+
+    @pytest.mark.parametrize(
+        "entry",
+        ALL_MODELS,
+        ids=[fault.kind for _, fault in ALL_MODELS],
+    )
+    def test_each_model_is_deterministic_and_active(self, entry):
+        suite = FaultSuite(entries=(entry,)).scaled(1.0)
+        clean = run_chain(BASELINE_POINT)
+        a = run_chain(BASELINE_POINT, suite)
+        b = run_chain(BASELINE_POINT, suite)
+        np.testing.assert_array_equal(a.output.data, b.output.data)
+        assert not np.array_equal(
+            clean.output.data, a.output.data, equal_nan=True
+        )
+
+
+class TestModels:
+    def test_severity_validated(self):
+        with pytest.raises(ValueError, match="severity"):
+            SampleDropout(severity=1.5)
+        with pytest.raises(ValueError, match="severity"):
+            GainDrift(severity=-0.1)
+
+    def test_scaled_clones_preserve_other_fields(self):
+        model = SampleDropout(severity=0.2, max_rate=0.5, mode="zero")
+        scaled = model.scaled(0.9)
+        assert scaled.severity == 0.9
+        assert scaled.max_rate == 0.5
+        assert scaled.mode == "zero"
+        assert model.severity == 0.2  # frozen original untouched
+
+    def test_forward_fill(self):
+        data = np.array([1.0, 2.0, 3.0, 4.0])
+        keep = np.array([True, False, False, True])
+        np.testing.assert_array_equal(
+            _forward_fill(data, keep), [1.0, 1.0, 1.0, 4.0]
+        )
+        # Dropped leading sample holds the original first value.
+        keep = np.array([False, True, True, True])
+        np.testing.assert_array_equal(
+            _forward_fill(data, keep), [1.0, 2.0, 3.0, 4.0]
+        )
+
+    def test_adc_bit_flip_moves_codes_by_powers_of_two(self):
+        suite = FaultSuite(
+            entries=(("adc", AdcBitFlip(severity=1.0, max_rate=0.2)),)
+        )
+        point = BASELINE_POINT
+        clean = run_chain(point)
+        faulty = run_chain(point, suite)
+        lsb = point.v_fs / 2.0**point.n_bits
+        # Normalizer divides by the LNA gain; undo it to compare codes.
+        delta = (faulty.output.data - clean.output.data) * point.lna_gain / lsb
+        steps = np.unique(np.abs(np.round(delta[np.nonzero(delta)])))
+        assert len(steps) > 0
+        assert set(steps.astype(int)) <= {2**k for k in range(point.n_bits)}
+
+    def test_nan_glitch_injects_nan(self):
+        suite = FaultSuite(entries=(("transmitter", NanGlitch(severity=1.0)),))
+        faulty = run_chain(BASELINE_POINT, suite)
+        assert np.isnan(faulty.output.data).any()
+
+    def test_describe_is_stable_and_severity_sensitive(self):
+        model = PacketLoss(severity=0.3)
+        assert model.describe() == PacketLoss(severity=0.3).describe()
+        assert model.describe() != model.scaled(0.7).describe()
+
+
+class TestInjection:
+    def test_inject_skips_missing_blocks(self):
+        chain = build_baseline_chain(BASELINE_POINT)
+        inject(chain, {"cs_encoder": GainDrift(severity=0.5)})
+        assert not any(isinstance(b, FaultBlock) for b in chain.blocks)
+
+    def test_inject_missing_not_ok_raises(self):
+        chain = build_baseline_chain(BASELINE_POINT)
+        with pytest.raises(KeyError, match="cs_encoder"):
+            inject(chain, {"cs_encoder": GainDrift(severity=0.5)}, missing_ok=False)
+
+    def test_wrapper_keeps_name_and_power(self):
+        chain = build_baseline_chain(BASELINE_POINT)
+        bare_power = chain.block("lna").power(BASELINE_POINT)
+        inject(chain, {"lna": GainDrift(severity=0.5)})
+        wrapped = chain.block("lna")
+        assert isinstance(wrapped, FaultBlock)
+        assert wrapped.name == "lna"
+        assert wrapped.power(BASELINE_POINT) == bare_power
+
+    def test_nested_wrapping_flattens(self):
+        chain = build_baseline_chain(BASELINE_POINT)
+        inject(chain, {"lna": GainDrift(severity=0.5)})
+        inject(chain, {"lna": SaturationBurst(severity=0.5)})
+        wrapped = chain.block("lna")
+        assert isinstance(wrapped, FaultBlock)
+        assert not isinstance(wrapped.inner, FaultBlock)
+        assert [f.kind for f in wrapped.faults] == ["gain_drift", "saturation_burst"]
+
+    def test_rejects_non_fault_entries(self):
+        chain = build_baseline_chain(BASELINE_POINT)
+        with pytest.raises(TypeError, match="FaultModel"):
+            inject(chain, {"lna": "not-a-fault"})
+
+    def test_suite_pickles(self):
+        suite = FaultSuite(entries=ALL_MODELS, realisation=3)
+        assert pickle.loads(pickle.dumps(suite)) == suite
+
+
+class TestEvaluatorIntegration:
+    def make_evaluator(self, suite=None):
+        return FrontEndEvaluator(
+            small_corpus(), None, FS, seed=3, chain_transform=suite
+        )
+
+    def test_fingerprint_changes_with_transform(self):
+        clean = self.make_evaluator()
+        suite_a = FaultSuite(entries=ALL_MODELS).scaled(0.5)
+        suite_b = suite_a.with_realisation(1)
+        fp_clean = clean.fingerprint()
+        fp_a = clean.with_chain_transform(suite_a).fingerprint()
+        fp_b = clean.with_chain_transform(suite_b).fingerprint()
+        assert len({fp_clean, fp_a, fp_b}) == 3
+
+    def test_with_chain_transform_none_matches_original(self):
+        evaluator = self.make_evaluator()
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.0)
+        faulty = evaluator.with_chain_transform(suite)
+        a = evaluator.evaluate(BASELINE_POINT)
+        b = faulty.evaluate(BASELINE_POINT)
+        assert a.metrics == b.metrics
+
+    def test_sweep_bit_identical_across_executors_with_faults(self):
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.3)
+        evaluator = self.make_evaluator(suite)
+        explorer = DesignSpaceExplorer(evaluator)
+        points = [BASELINE_POINT, CS_POINT]
+        serial = explorer.explore(points)
+        process = explorer.explore(points, executor="process", n_workers=2)
+        threaded = explorer.explore(points, executor="thread", n_workers=2)
+        for other in (process, threaded):
+            for left, right in zip(serial, other):
+                assert left.point.describe() == right.point.describe()
+                assert left.metrics == right.metrics
+                assert left.error == right.error
+
+    def test_sweep_bit_identical_across_checkpoint_resume_with_faults(
+        self, tmp_path
+    ):
+        suite = FaultSuite(entries=ALL_MODELS).scaled(0.3)
+        evaluator = self.make_evaluator(suite)
+        explorer = DesignSpaceExplorer(evaluator)
+        points = [BASELINE_POINT, CS_POINT]
+        reference = explorer.explore(points)
+        ckpt = tmp_path / "faulty.jsonl"
+        # First pass evaluates only the first point (via a poisoned second
+        # evaluation), then the resumed pass completes the sweep.
+        partial = explorer.explore([points[0]], checkpoint=str(ckpt))
+        assert partial[0].error is None
+        resumed = explorer.explore(points, checkpoint=str(ckpt))
+        for left, right in zip(reference, resumed):
+            assert left.metrics == right.metrics
