@@ -309,9 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--executor",
-        choices=["serial", "process", "thread"],
+        choices=["serial", "process", "thread", "batched"],
         default=None,
-        help="execution backend (default: process when --workers > 1)",
+        help="execution backend (default: process when --workers > 1); "
+        "'batched' vectorises topology-sharing points through the blocks' "
+        "process_batch kernels and shards over --workers when > 1",
     )
     sweep.add_argument(
         "--checkpoint",

@@ -54,7 +54,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 log = logging.getLogger("repro.execution")
 
 #: Valid values of ``DesignSpaceExplorer.explore(executor=...)``.
-EXECUTORS = ("serial", "process", "thread")
+EXECUTORS = ("serial", "process", "thread", "batched")
 
 
 class EvaluationTimeout(TimeoutError):
@@ -324,6 +324,34 @@ def evaluate_chunk_with(
         (index, *evaluate_one_timed(evaluator, point, strict, policy))
         for index, point in chunk
     ]
+
+
+def evaluate_batch_chunk_with(
+    evaluator: Callable,
+    strict: bool,
+    chunk: list[tuple[int, DesignPoint]],
+    policy: ExecutionPolicy = DEFAULT_POLICY,
+) -> list[tuple[int, Evaluation, float, dict]]:
+    """Evaluate one chunk through the batched engine (scalar fallback inside).
+
+    Imported lazily: :mod:`repro.core.batch` imports this module for the
+    policy machinery, so a top-level import would be circular.
+    """
+    from repro.core.batch import BatchedEvaluator
+
+    return BatchedEvaluator(evaluator).evaluate_chunk(chunk, strict=strict, policy=policy)
+
+
+def _evaluate_batch_chunk(
+    chunk: list[tuple[int, DesignPoint]],
+) -> list[tuple[int, Evaluation, float, dict]]:
+    """Batched analogue of :func:`_evaluate_chunk` (one shard per worker)."""
+    return evaluate_batch_chunk_with(
+        _WORKER_STATE["evaluator"],
+        _WORKER_STATE["strict"],
+        chunk,
+        _WORKER_STATE.get("policy", DEFAULT_POLICY),
+    )
 
 
 # --- on-disk evaluation cache ------------------------------------------------

@@ -42,9 +42,11 @@ from repro.core.execution import (
     EvaluationCache,
     ExecutionPolicy,
     SweepCheckpoint,
+    _evaluate_batch_chunk,
     _evaluate_chunk,
     _init_worker,
     chunk_pending,
+    evaluate_batch_chunk_with,
     evaluate_chunk_with,
     evaluate_one_timed,
     evaluator_fingerprint,
@@ -196,8 +198,16 @@ class FrontEndEvaluator:
 
     # --- single-point evaluation ---------------------------------------------
 
-    def evaluate(self, point: DesignPoint) -> Evaluation:
-        """Simulate one design point over the corpus and score it."""
+    def build_point_chain(self, point: DesignPoint):
+        """Validate ``point`` against the corpus and build its chain.
+
+        Returns ``(chain, run_seed)``: the fully configured (and, when a
+        ``chain_transform`` is set, transformed) block chain plus the seed
+        the simulation run must use.  Shared by the scalar path
+        (:meth:`evaluate`) and the batched path
+        (:class:`repro.core.batch.BatchedEvaluator`), so both simulate
+        bit-identical systems.
+        """
         # Imported here: repro.blocks imports repro.core (Block base class),
         # so a module-level import would be circular.
         from repro.blocks.chains import (
@@ -216,7 +226,7 @@ class FrontEndEvaluator:
                 f"records are at {self.sample_rate} Hz but the design point samples "
                 f"at {point.f_sample} Hz; resample the corpus to f_sample"
             )
-        n_records, n_samples = self.records.shape
+        n_samples = self.records.shape[1]
         point_seed = derive_seed(self.seed, point.describe())
         if point.use_cs:
             if n_samples % point.cs_n_phi:
@@ -238,19 +248,28 @@ class FrontEndEvaluator:
             chain = build_baseline_chain(point, seed=point_seed)
         if self.chain_transform is not None:
             chain = self.chain_transform(chain, point, point_seed)
+        return chain, derive_seed(point_seed, "run")
 
-        stream = Signal(self.records.reshape(-1), sample_rate=self.sample_rate)
-        result = Simulator(chain, point, seed=derive_seed(point_seed, "run")).run(
-            stream, record_taps=False
-        )
-        output = np.asarray(result.output.data).reshape(n_records, -1)
+    def source_signal(self) -> Signal:
+        """The whole corpus concatenated into one simulation stream."""
+        return Signal(self.records.reshape(-1), sample_rate=self.sample_rate)
+
+    def score_output(self, point: DesignPoint, output_signal: Signal, power) -> Evaluation:
+        """Score one simulated output stream against the clean corpus.
+
+        ``power`` is the chain's :class:`~repro.power.models.PowerReport`.
+        Shared by the scalar and batched paths so the metric computation
+        cannot diverge between executors.
+        """
+        n_records = self.records.shape[0]
+        output = np.asarray(output_signal.data).reshape(n_records, -1)
         reference = self.records[:, : output.shape[1]]
 
         snrs = [snr_vs_reference(ref, out) for ref, out in zip(reference, output)]
         metrics: dict[str, float] = {
             "snr_db": float(np.mean(snrs)),
-            "power_w": result.power.total,
-            "power_uw": result.power.total / MICRO,
+            "power_w": power.total,
+            "power_uw": power.total / MICRO,
             "area_units": chain_area(point).units,
         }
         if self.detector is not None and self.labels is not None:
@@ -265,7 +284,15 @@ class FrontEndEvaluator:
                 metrics["accuracy"] = soft(output, self.labels)
             else:
                 metrics["accuracy"] = metrics["accuracy_hard"]
-        return Evaluation(point=point, metrics=metrics, breakdown=dict(result.power.blocks))
+        return Evaluation(point=point, metrics=metrics, breakdown=dict(power.blocks))
+
+    def evaluate(self, point: DesignPoint) -> Evaluation:
+        """Simulate one design point over the corpus and score it."""
+        chain, run_seed = self.build_point_chain(point)
+        result = Simulator(chain, point, seed=run_seed).run(
+            self.source_signal(), record_taps=False
+        )
+        return self.score_output(point, result.output, result.power)
 
     __call__ = evaluate
 
@@ -312,10 +339,17 @@ class DesignSpaceExplorer:
             parallel executor the invocation order follows *completion*
             order; the returned result is always in grid order.
         executor:
-            ``"serial"`` (default), ``"process"`` or ``"thread"``.  Seeds
-            derive from the master seed and the point description, never
-            from evaluation order, so all three backends return
-            bit-identical results.
+            ``"serial"`` (default), ``"process"``, ``"thread"`` or
+            ``"batched"``.  Seeds derive from the master seed and the
+            point description, never from evaluation order, so the scalar
+            backends return bit-identical results.  ``"batched"`` groups
+            points sharing a chain topology and runs each group as one
+            vectorised pass through the blocks' ``process_batch`` kernels
+            (see :mod:`repro.core.batch`); points whose chains contain a
+            kernel-less block -- fault-wrapped chains, custom blocks --
+            transparently fall back to the scalar path.  With
+            ``n_workers > 1`` the pending points shard over a process
+            pool and each worker batches its shard.
         n_workers:
             Pool size for parallel executors (default ``os.cpu_count()``).
         chunk_size:
@@ -432,6 +466,10 @@ class DesignSpaceExplorer:
                         tel.count("explore.retries", stats["retries"])
                     if stats.get("timeouts"):
                         tel.count("explore.timeouts", stats["timeouts"])
+                    if stats.get("batched"):
+                        tel.count("explore.batched_points")
+                    if stats.get("batch_fallback"):
+                        tel.count("explore.batch_fallback_points")
                 if evaluation.error is not None:
                     tel.count("explore.failures")
                 run_elapsed = time.perf_counter() - start_time
@@ -495,6 +533,10 @@ class DesignSpaceExplorer:
                                 self.evaluator, point, strict, policy
                             )
                             finalize(index, evaluation, elapsed=elapsed, stats=stats)
+                    elif pending and executor == "batched":
+                        self._run_batched(
+                            pending, n_workers, chunk_size, strict, policy, finalize, tel
+                        )
                     elif pending:
                         self._run_parallel(
                             pending,
@@ -566,6 +608,41 @@ class DesignSpaceExplorer:
                     future.cancel()
                 raise
 
+    def _run_batched(
+        self,
+        pending: list[tuple[int, DesignPoint]],
+        n_workers: int | None,
+        chunk_size: int | None,
+        strict: bool,
+        policy: ExecutionPolicy,
+        finalize: Callable[..., None],
+        tel: Telemetry,
+    ) -> None:
+        """Dispatch ``pending`` through the batched engine.
+
+        ``n_workers`` omitted or 1 runs one in-process batched pass (the
+        common case: batching already amortises the per-point overhead).
+        Larger ``n_workers`` composes batching with process parallelism:
+        the pending points shard over a process pool -- default one
+        contiguous shard per worker, to keep batch groups large -- and
+        each worker vectorises its own shard, reusing the scalar pool's
+        crash-recovery ladder.
+        """
+        workers = max(1, min(n_workers or 1, len(pending)))
+        if workers == 1:
+            for index, evaluation, elapsed, stats in evaluate_batch_chunk_with(
+                self.evaluator, strict, pending, policy=policy
+            ):
+                finalize(index, evaluation, elapsed=elapsed, stats=stats)
+            return
+        if chunk_size is None:
+            chunk_size = -(-len(pending) // workers)
+        chunks = chunk_pending(pending, workers, chunk_size)
+        tel.count("explore.batch_shards", len(chunks))
+        self._run_process_pool(
+            chunks, workers, strict, policy, finalize, tel, task=_evaluate_batch_chunk
+        )
+
     def _run_process_pool(
         self,
         chunks: list[list[tuple[int, DesignPoint]]],
@@ -574,6 +651,7 @@ class DesignSpaceExplorer:
         policy: ExecutionPolicy,
         finalize: Callable[..., None],
         tel: Telemetry,
+        task: Callable = _evaluate_chunk,
     ) -> None:
         """Process-pool dispatch with crash recovery.
 
@@ -609,7 +687,7 @@ class DesignSpaceExplorer:
             try:
                 with pool:
                     futures = {
-                        pool.submit(_evaluate_chunk, chunk): key
+                        pool.submit(task, chunk): key
                         for key, chunk in remaining.items()
                     }
                     try:

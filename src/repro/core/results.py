@@ -7,6 +7,7 @@ reporting conveniences used by every experiment.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -130,15 +131,19 @@ class ExplorationResult:
     def as_table(self, metrics: Sequence[str], max_rows: int | None = None) -> str:
         """Fixed-width text table of selected metrics.
 
-        Metrics a row does not carry render as blank cells, so tables of
-        heterogeneous sweeps (mixed baseline/CS, failed points) work.
+        Metrics a row does not carry -- or carries as NaN (error rows
+        scattered back from a failed batch shard) -- render as blank
+        cells, so tables of heterogeneous sweeps (mixed baseline/CS,
+        failed points) stay column-aligned with one consistent
+        missing-value convention.
         """
         rows = self._evaluations if max_rows is None else self._evaluations[:max_rows]
         header = f"{'design point':<42}" + "".join(f"{m:>14}" for m in metrics)
         lines = [header]
         for evaluation in rows:
             cells = "".join(
-                f"{evaluation.metrics[m]:>14.4g}" if m in evaluation.metrics else f"{'':>14}"
+                f"{value:>14.4g}" if (value := evaluation.metrics.get(m)) is not None
+                and not math.isnan(value) else f"{'':>14}"
                 for m in metrics
             )
             lines.append(f"{evaluation.point.describe():<42}{cells}")
@@ -154,6 +159,8 @@ class ExplorationResult:
         """Write the sweep as CSV (point description + selected metrics).
 
         ``metrics=None`` exports the union of all metric names, sorted.
+        NaN metric values (error rows) export as empty fields, the same
+        convention as metrics a row does not carry.
         """
         import csv
 
@@ -162,6 +169,13 @@ class ExplorationResult:
             for evaluation in self._evaluations:
                 names.update(evaluation.metrics)
             metrics = sorted(names)
+
+        def cell(evaluation: Evaluation, name: str):
+            value = evaluation.metrics.get(name, "")
+            if isinstance(value, float) and math.isnan(value):
+                return ""
+            return value
+
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(["point", *metrics])
@@ -169,6 +183,6 @@ class ExplorationResult:
                 writer.writerow(
                     [
                         evaluation.point.describe(),
-                        *(evaluation.metrics.get(name, "") for name in metrics),
+                        *(cell(evaluation, name) for name in metrics),
                     ]
                 )

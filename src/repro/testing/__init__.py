@@ -1,0 +1,26 @@
+"""Regression-testing support: golden-number generation and comparison.
+
+The :mod:`repro.testing.goldens` module computes the headline artefacts
+of the paper tables/figures in a canonical JSON form;
+``python -m repro.testing.refresh_goldens`` writes them under
+``tests/goldens/`` and ``tests/test_goldens.py`` fails when a code change
+drifts them beyond each golden's stated tolerance.
+"""
+
+from repro.testing.goldens import (
+    GOLDEN_NAMES,
+    compare_to_golden,
+    compute_golden,
+    default_goldens_dir,
+    load_golden,
+    write_golden,
+)
+
+__all__ = [
+    "GOLDEN_NAMES",
+    "compare_to_golden",
+    "compute_golden",
+    "default_goldens_dir",
+    "load_golden",
+    "write_golden",
+]

@@ -1,0 +1,42 @@
+"""Regenerate the golden regression files under ``tests/goldens/``.
+
+Usage::
+
+    python -m repro.testing.refresh_goldens [--only NAME ...] [--output DIR]
+
+Run this after an *intentional* change to the numbers a golden locks
+down, and commit the regenerated JSON together with the code change so
+the diff review shows exactly which headline values moved.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.testing.goldens import GOLDEN_NAMES, compute_golden, write_golden
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=GOLDEN_NAMES,
+        default=list(GOLDEN_NAMES),
+        help="subset of goldens to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="target directory (default: this checkout's tests/goldens/)",
+    )
+    args = parser.parse_args(argv)
+    for name in args.only:
+        golden = compute_golden(name)
+        path = write_golden(golden, args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,245 @@
+"""Property-based scalar/batched equivalence suite.
+
+Hypothesis draws random design-point grids and block parameterisations
+and asserts the batched engine reproduces the scalar path within 1e-9
+relative tolerance per point (in practice the kernels are bit-identical;
+the tolerance is the contract, not the observation).  Covers:
+
+* full ``explore()`` sweeps, serial vs batched executor, including
+  seeded-noise blocks (LNA noise, comparator noise are active by
+  construction);
+* direct block kernels (LNA / S&H / SAR) with heterogeneous rows,
+  including rows that disable a feature others enable;
+* the CS architecture end to end (small ``n_phi`` so reconstruction
+  stays cheap);
+* fault-wrapped chains, which must *fall back* to the scalar path and
+  still produce identical results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.blocks.lna import LNA
+from repro.blocks.sample_hold import SampleHold
+from repro.blocks.sar_adc import SarAdc
+from repro.core.batch import BatchCompiler, BatchSignal, supports_batching
+from repro.core.block import SimulationContext
+from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
+from repro.core.signal import Signal
+from repro.faults.injection import FaultSuite
+from repro.faults.models import GainDrift
+from repro.power.technology import DesignPoint
+
+F_SAMPLE = 2.1 * 256.0
+RTOL = 1e-9
+
+#: Property-test budget: the sweeps under test run real simulations, so
+#: a handful of well-shrunk examples beats hundreds of shallow ones.
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_evaluator(n_samples: int = 64) -> FrontEndEvaluator:
+    records = np.random.default_rng(11).normal(0.0, 20e-6, size=(1, n_samples))
+    return FrontEndEvaluator(records, None, F_SAMPLE, seed=7)
+
+
+def assert_equivalent(serial, batched) -> None:
+    assert len(serial) == len(batched)
+    for expected, actual in zip(serial, batched):
+        assert expected.point.describe() == actual.point.describe()
+        assert expected.error == actual.error
+        assert set(expected.metrics) == set(actual.metrics)
+        for name, value in expected.metrics.items():
+            assert math.isclose(value, actual.metrics[name], rel_tol=RTOL, abs_tol=0.0), (
+                f"{expected.point.describe()} {name}: {value} vs {actual.metrics[name]}"
+            )
+
+
+baseline_points = st.lists(
+    st.builds(
+        DesignPoint,
+        n_bits=st.sampled_from([6, 8, 10]),
+        lna_noise_rms=st.floats(1e-7, 30e-6, allow_nan=False),
+        lna_bw_ratio=st.sampled_from([1.0, 3.0]),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=12, **COMMON)
+@given(points=baseline_points)
+def test_explore_batched_matches_serial(points):
+    """Random baseline grids: both executors agree metric for metric."""
+    evaluator = make_evaluator()
+    explorer = DesignSpaceExplorer(evaluator)
+    serial = explorer.explore(points, executor="serial")
+    batched = explorer.explore(points, executor="batched")
+    assert_equivalent(serial, batched)
+
+
+@settings(max_examples=4, **COMMON)
+@given(
+    cs_m=st.sampled_from([8, 16]),
+    lna_noise_rms=st.floats(1e-6, 10e-6, allow_nan=False),
+)
+def test_explore_cs_architecture_matches_serial(cs_m, lna_noise_rms):
+    """CS chains (encoder + reconstruction) agree across executors."""
+    evaluator = make_evaluator(n_samples=64)
+    points = [
+        DesignPoint(
+            n_bits=8,
+            lna_noise_rms=lna_noise_rms,
+            use_cs=True,
+            cs_m=cs_m,
+            cs_n_phi=32,
+        )
+    ]
+    explorer = DesignSpaceExplorer(evaluator)
+    serial = explorer.explore(points, executor="serial")
+    batched = explorer.explore(points, executor="batched")
+    assert_equivalent(serial, batched)
+
+
+def run_blocks_both_ways(blocks, signal, seeds):
+    """Per-block scalar outputs vs the stacked ``process_batch`` rows."""
+    scalar = []
+    for block, seed in zip(blocks, seeds):
+        ctx = SimulationContext(seed=seed)
+        scalar.append(block.process(signal, ctx).data)
+    ctxs = [SimulationContext(seed=seed) for seed in seeds]
+    batch = BatchSignal.broadcast(signal, len(blocks))
+    stacked = blocks[0].process_batch(batch, blocks, ctxs)
+    return scalar, [stacked.row(i).data for i in range(len(blocks))]
+
+
+def assert_rows_match(scalar, batched):
+    for i, (expected, actual) in enumerate(zip(scalar, batched)):
+        np.testing.assert_allclose(actual, expected, rtol=RTOL, atol=0.0, err_msg=f"row {i}")
+
+
+@settings(max_examples=25, **COMMON)
+@given(
+    params=st.lists(
+        st.tuples(
+            st.floats(1.0, 2000.0),  # gain
+            st.floats(0.0, 50e-6),  # noise_rms
+            st.one_of(st.none(), st.floats(50.0, 5000.0)),  # bandwidth
+            st.floats(0.0, 1e-2),  # hd3_at_fs
+            st.one_of(st.none(), st.floats(0.5, 2.0)),  # clip_level
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    data=st.data(),
+)
+def test_lna_kernel_matches_scalar(params, data):
+    blocks = [
+        LNA(gain=g, noise_rms=n, bandwidth=bw, hd3_at_fs=h, clip_level=c)
+        for g, n, bw, h, c in params
+    ]
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    signal = Signal(data=rng.normal(0.0, 1e-3, size=48), sample_rate=F_SAMPLE)
+    seeds = list(range(100, 100 + len(blocks)))
+    scalar, batched = run_blocks_both_ways(blocks, signal, seeds)
+    assert_rows_match(scalar, batched)
+
+
+@settings(max_examples=25, **COMMON)
+@given(
+    params=st.lists(
+        st.tuples(
+            st.floats(1e-15, 1e-12),  # capacitance
+            st.floats(0.0, 1e-5),  # aperture_jitter
+            st.floats(0.0, 10.0),  # droop_rate
+            st.booleans(),  # kt noise on/off
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    seed=st.integers(0, 2**31),
+)
+def test_sample_hold_kernel_matches_scalar(params, seed):
+    from repro.util.constants import KT_ROOM
+
+    blocks = [
+        SampleHold(capacitance=c, aperture_jitter=j, droop_rate=d, kt=KT_ROOM if noisy else 0.0)
+        for c, j, d, noisy in params
+    ]
+    rng = np.random.default_rng(seed)
+    signal = Signal(data=rng.normal(0.0, 0.5, size=48), sample_rate=F_SAMPLE)
+    seeds = list(range(7, 7 + len(blocks)))
+    scalar, batched = run_blocks_both_ways(blocks, signal, seeds)
+    assert_rows_match(scalar, batched)
+
+
+@settings(max_examples=25, **COMMON)
+@given(
+    n_bits=st.sampled_from([4, 8, 12]),
+    params=st.lists(
+        st.tuples(
+            st.floats(0.0, 5e-3),  # comparator_noise_rms (0 mixes noiseless rows)
+            st.floats(0.0, 0.05),  # dac_mismatch_sigma
+            st.integers(0, 2**16),  # mismatch_seed
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    seed=st.integers(0, 2**31),
+)
+def test_sar_adc_kernel_matches_scalar(n_bits, params, seed):
+    blocks = [
+        SarAdc(n_bits=n_bits, comparator_noise_rms=cn, dac_mismatch_sigma=dm, mismatch_seed=ms)
+        for cn, dm, ms in params
+    ]
+    rng = np.random.default_rng(seed)
+    signal = Signal(data=rng.uniform(-1.2, 1.2, size=48), sample_rate=F_SAMPLE)
+    seeds = list(range(42, 42 + len(blocks)))
+    scalar, batched = run_blocks_both_ways(blocks, signal, seeds)
+    assert_rows_match(scalar, batched)
+
+
+class TestFaultFallback:
+    """Fault-wrapped chains have no batch kernels: the compiler must send
+    every point down the scalar path, and results must match serial."""
+
+    def make_faulty_evaluator(self):
+        suite = FaultSuite(entries=(("lna", GainDrift(severity=0.5)),))
+        return make_evaluator().with_chain_transform(suite)
+
+    def test_compiler_demotes_fault_wrapped_chains(self):
+        evaluator = self.make_faulty_evaluator()
+        points = [DesignPoint(n_bits=8, lna_noise_rms=5e-6)]
+        batches, fallback = BatchCompiler(evaluator).compile(list(enumerate(points)))
+        assert not batches
+        assert [index for index, _ in fallback] == [0]
+
+    @settings(max_examples=6, **COMMON)
+    @given(points=baseline_points)
+    def test_faulty_sweep_falls_back_and_matches_serial(self, points):
+        evaluator = self.make_faulty_evaluator()
+        explorer = DesignSpaceExplorer(evaluator)
+        serial = explorer.explore(points, executor="serial")
+        batched = explorer.explore(points, executor="batched")
+        assert_equivalent(serial, batched)
+
+    def test_fallback_counter_reported(self):
+        from repro.core.telemetry import Telemetry
+
+        evaluator = self.make_faulty_evaluator()
+        tel = Telemetry()
+        DesignSpaceExplorer(evaluator).explore(
+            [DesignPoint(n_bits=8, lna_noise_rms=5e-6)],
+            executor="batched",
+            telemetry=tel,
+        )
+        assert tel.counters["explore.batch_fallback_points"] == 1
+
+
+def test_evaluator_supports_batch_protocol():
+    assert supports_batching(make_evaluator())

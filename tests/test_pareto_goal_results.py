@@ -236,6 +236,37 @@ class TestHeterogeneousSweeps:
         best = self.make_mixed().best(minimize="accuracy")
         assert best.metrics["power_uw"] == 1
 
+    def make_with_error_row(self):
+        """A sweep where one point carries NaN metrics (failed batch shard)."""
+        nan = float("nan")
+        error = Evaluation(
+            point=DesignPoint(n_bits=10),
+            metrics={"power_uw": nan, "accuracy": nan},
+            error="boom",
+        )
+        return ExplorationResult([ev(1, 0.9), error], name="witherror")
+
+    def test_as_table_renders_nan_metrics_as_blank(self):
+        """Error rows use the same blank convention as missing metrics --
+        previously NaN values printed as right-padded 'nan' text, breaking
+        the column convention for heterogeneous sweeps."""
+        table = self.make_with_error_row().as_table(["power_uw", "accuracy"])
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert "nan" not in table
+        # The error row carries only its point description, both metric
+        # cells blank; column width stays on the same fixed grid.
+        assert lines[2].strip() == "baseline N=10b noise=5.0uV fs=538Hz"
+        assert len(lines[1]) == len(lines[0])
+
+    def test_to_csv_exports_nan_metrics_as_empty(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        self.make_with_error_row().to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert "nan" not in lines[2]
+        assert lines[2].endswith(",,") or lines[2].split(",")[1:] == ["", ""]
+
 
 class TestVectorisedParetoParity:
     """The numpy non-dominated filter must match the pairwise definition."""
