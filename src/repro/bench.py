@@ -1,0 +1,268 @@
+"""Benchmark harness: tracked performance records with a regression gate.
+
+The repo's performance claims (the batched executor's >= 3x signal-pass
+speedup, the parallel executor's scaling) are enforced once in the
+benchmark suite but never *tracked*: a 15% regression that stays above
+the acceptance floor lands silently.  ``repro bench`` closes that gap:
+
+* each invocation runs the registered benchmarks and **appends** one
+  schema'd record per benchmark to a dated ledger
+  (``BENCH_<YYYYMMDD>.json``), so a directory of ledgers is a
+  performance history;
+* ``repro bench --compare [BASELINE]`` additionally gates against a
+  baseline ledger (default: the newest *other* ``BENCH_*.json`` in the
+  output directory) and exits non-zero when any benchmark's best wall
+  time regressed by more than ``--threshold`` (default 20%).  With no
+  baseline available it warns and passes -- the CI bootstrap case.
+
+Records are compared on the *best* (minimum) wall time per benchmark
+name within a ledger, the same best-of discipline the benchmark suite
+uses to keep scheduler noise out of single-core CI timings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Version stamp of the benchmark-record JSON schema.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default regression gate: fail when best wall time grows by more than this.
+DEFAULT_REGRESSION_THRESHOLD = 0.20
+
+#: Ledger filename pattern (one file per day; append within a day).
+LEDGER_GLOB = "BENCH_*.json"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark measurement appended to the dated ledger."""
+
+    name: str
+    wall_s: float
+    points: int
+    reps: int
+    created_unix: float = 0.0
+    meta: dict = field(default_factory=dict)
+    schema: int = BENCH_SCHEMA_VERSION
+
+    @property
+    def points_per_s(self) -> float:
+        """Throughput (0 when the wall time is degenerate)."""
+        return self.points / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["points_per_s"] = self.points_per_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchRecord":
+        if payload.get("schema") != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"bench record schema {payload.get('schema')!r} != "
+                f"supported {BENCH_SCHEMA_VERSION}"
+            )
+        return cls(
+            name=str(payload["name"]),
+            wall_s=float(payload["wall_s"]),
+            points=int(payload["points"]),
+            reps=int(payload["reps"]),
+            created_unix=float(payload.get("created_unix", 0.0)),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+# --- ledger I/O ---------------------------------------------------------------
+
+
+def default_ledger_path(directory: str | Path = ".") -> Path:
+    """Today's ledger path: ``<directory>/BENCH_<YYYYMMDD>.json``."""
+    return Path(directory) / time.strftime("BENCH_%Y%m%d.json")
+
+
+def load_records(path: str | Path) -> list[BenchRecord]:
+    """Read a ledger written by :func:`append_records`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(f"{path}: not a bench ledger (schema {BENCH_SCHEMA_VERSION})")
+    return [BenchRecord.from_dict(record) for record in payload.get("records", [])]
+
+
+def append_records(path: str | Path, records: list[BenchRecord]) -> Path:
+    """Append ``records`` to the ledger at ``path`` (created if missing)."""
+    path = Path(path)
+    existing = load_records(path) if path.exists() else []
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "records": [record.to_dict() for record in existing + records],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def find_baseline(out_path: str | Path) -> Path | None:
+    """Newest ``BENCH_*.json`` sibling of ``out_path`` other than itself."""
+    out_path = Path(out_path)
+    candidates = sorted(
+        p for p in out_path.parent.glob(LEDGER_GLOB) if p.name != out_path.name
+    )
+    return candidates[-1] if candidates else None
+
+
+# --- comparison ---------------------------------------------------------------
+
+
+def best_wall_times(records: list[BenchRecord]) -> dict[str, float]:
+    """Best (minimum) wall seconds per benchmark name."""
+    best: dict[str, float] = {}
+    for record in records:
+        previous = best.get(record.name)
+        if previous is None or record.wall_s < previous:
+            best[record.name] = record.wall_s
+    return best
+
+
+def compare_records(
+    baseline: list[BenchRecord],
+    current: list[BenchRecord],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> list[dict]:
+    """Per-benchmark comparison rows; ``regressed`` marks gate failures.
+
+    A benchmark regresses when its best current wall time exceeds the
+    best baseline wall time by more than ``threshold`` (relative).
+    Benchmarks present on only one side are reported but never fail the
+    gate (a new benchmark has no baseline; a removed one has no current).
+    """
+    base = best_wall_times(baseline)
+    now = best_wall_times(current)
+    rows: list[dict] = []
+    for name in sorted(set(base) | set(now)):
+        row = {
+            "name": name,
+            "baseline_s": base.get(name),
+            "current_s": now.get(name),
+            "ratio": None,
+            "regressed": False,
+        }
+        if name in base and name in now and base[name] > 0:
+            row["ratio"] = now[name] / base[name]
+            row["regressed"] = row["ratio"] > 1.0 + threshold
+        rows.append(row)
+    return rows
+
+
+def render_comparison(rows: list[dict], threshold: float) -> str:
+    """Fixed-width comparison table (repo plain-text conventions)."""
+    lines = [
+        f"{'benchmark':<28}{'baseline':>12}{'current':>12}{'ratio':>8}  verdict",
+    ]
+    for row in rows:
+        baseline = f"{row['baseline_s']:.3f}s" if row["baseline_s"] is not None else "-"
+        current = f"{row['current_s']:.3f}s" if row["current_s"] is not None else "-"
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "-"
+        if row["regressed"]:
+            verdict = f"REGRESSED (> {1.0 + threshold:.2f}x)"
+        elif row["ratio"] is None:
+            verdict = "no baseline" if row["baseline_s"] is None else "not run"
+        else:
+            verdict = "ok"
+        lines.append(f"{row['name']:<28}{baseline:>12}{current:>12}{ratio:>8}  {verdict}")
+    return "\n".join(lines)
+
+
+# --- benchmark implementations ------------------------------------------------
+
+
+def _bench_grid(n_points: int) -> list:
+    """Baseline LNA/S&H/SAR grid of ``n_points`` (resolutions x noise)."""
+    import numpy as np
+
+    from repro.power.technology import DesignPoint
+
+    resolutions = (8, 10, 12, 14)
+    per_resolution = max(1, n_points // len(resolutions))
+    return [
+        DesignPoint(n_bits=n_bits, lna_noise_rms=noise, lna_bw_ratio=1.0)
+        for n_bits in resolutions
+        for noise in np.linspace(1e-6, 30e-6, per_resolution)
+    ][:n_points]
+
+
+def _bench_evaluator():
+    import numpy as np
+
+    from repro.core.explorer import FrontEndEvaluator
+
+    records = np.random.default_rng(1).normal(0.0, 20e-6, size=(1, 64))
+    return FrontEndEvaluator(records, None, 2.1 * 256, seed=3)
+
+
+def _best_of(fn, reps: int) -> float:
+    fn()  # warm-up: imports, filter design, allocator
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_batched_sweep(n_points: int = 64, reps: int = 3) -> BenchRecord:
+    """End-to-end ``explore(executor="batched")`` over the baseline grid."""
+    from repro.core.explorer import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer(_bench_evaluator())
+    points = _bench_grid(n_points)
+    wall_s = _best_of(lambda: explorer.explore(points, executor="batched"), reps)
+    return BenchRecord(
+        name="batched-sweep",
+        wall_s=wall_s,
+        points=len(points),
+        reps=reps,
+        created_unix=time.time(),
+        meta={"executor": "batched"},
+    )
+
+
+def bench_parallel_sweep(
+    n_points: int = 32, n_workers: int = 2, reps: int = 2
+) -> BenchRecord:
+    """End-to-end process-pool ``explore`` (pool startup included)."""
+    from repro.core.explorer import DesignSpaceExplorer
+
+    explorer = DesignSpaceExplorer(_bench_evaluator())
+    points = _bench_grid(n_points)
+    wall_s = _best_of(
+        lambda: explorer.explore(points, executor="process", n_workers=n_workers),
+        reps,
+    )
+    return BenchRecord(
+        name="parallel-sweep",
+        wall_s=wall_s,
+        points=len(points),
+        reps=reps,
+        created_unix=time.time(),
+        meta={"executor": "process", "n_workers": n_workers},
+    )
+
+
+#: Registered benchmarks, in execution order.
+BENCHMARKS = {
+    "batched-sweep": bench_batched_sweep,
+    "parallel-sweep": bench_parallel_sweep,
+}
+
+
+def run_benchmarks(names: list[str] | None = None) -> list[BenchRecord]:
+    """Run the named benchmarks (default: all registered)."""
+    selected = list(BENCHMARKS) if names is None else list(names)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s) {unknown}; registered: {list(BENCHMARKS)}")
+    return [BENCHMARKS[name]() for name in selected]

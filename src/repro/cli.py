@@ -23,9 +23,24 @@ Observability flags (shared by every command):
   for ``sweep`` it also writes a :class:`~repro.core.telemetry.RunManifest`
   JSON next to the sweep outputs.  Result values are identical with and
   without profiling.
+* ``--trace FILE`` records a hierarchical span timeline (sweep -> shard
+  -> point -> block -> solver, one lane per worker process) and writes
+  it as Chrome-trace/Perfetto JSON.
+* ``--metrics-out FILE`` writes the final telemetry state as an
+  OpenMetrics/Prometheus textfile.
+* ``--events-out FILE`` streams every structured telemetry event to a
+  JSONL file as it happens (crash-safe, unlike the bounded buffer).
 * ``--log-level`` configures stdlib :mod:`logging` for the run.
 * ``--no-progress`` suppresses the live per-point progress/ETA line that
   ``sweep`` prints to stderr.
+
+Any of ``--trace``/``--metrics-out``/``--events-out`` (like
+``--manifest``) implies ``--profile``.
+
+``repro bench`` runs the tracked performance benchmarks (see
+:mod:`repro.bench`), appends schema'd records to a dated
+``BENCH_<date>.json`` ledger, and with ``--compare`` gates against a
+baseline ledger (exit 1 on > ``--threshold`` regression).
 """
 
 from __future__ import annotations
@@ -259,6 +274,58 @@ def _cmd_budget(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        append_records,
+        compare_records,
+        default_ledger_path,
+        find_baseline,
+        load_records,
+        render_comparison,
+        run_benchmarks,
+    )
+
+    out = Path(args.out) if args.out else default_ledger_path()
+    if args.compare_only:
+        current = load_records(out) if out.exists() else []
+    else:
+        try:
+            records = run_benchmarks(args.benchmarks)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        append_records(out, records)
+        for record in records:
+            print(
+                f"{record.name}: best {record.wall_s * 1e3:.0f} ms over "
+                f"{record.points} points ({record.points_per_s:.0f} points/s, "
+                f"best of {record.reps})"
+            )
+        print(f"appended {len(records)} record(s) to {out}")
+        current = load_records(out)
+
+    if args.compare is None and not args.compare_only:
+        return 0
+    if args.compare not in (None, "auto"):
+        baseline_path = Path(args.compare)
+    else:
+        baseline_path = find_baseline(out)
+    if baseline_path is None or not baseline_path.exists():
+        print(
+            "no baseline ledger found; skipping comparison (first run "
+            "establishes the baseline)"
+        )
+        return 0
+    rows = compare_records(
+        load_records(baseline_path), current, threshold=args.threshold
+    )
+    print(f"\ncomparing against {baseline_path}:")
+    print(render_comparison(rows, args.threshold))
+    return 1 if any(row["regressed"] for row in rows) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -284,6 +351,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress",
         action="store_true",
         help="suppress the live progress/ETA line on stderr",
+    )
+    common.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome-trace/Perfetto JSON span timeline (implies --profile)",
+    )
+    common.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the final telemetry state as an OpenMetrics/Prometheus "
+        "textfile (implies --profile)",
+    )
+    common.add_argument(
+        "--events-out",
+        metavar="FILE",
+        help="stream structured telemetry events to a JSONL file as they "
+        "happen (implies --profile)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -407,6 +491,46 @@ def build_parser() -> argparse.ArgumentParser:
     budget.add_argument("--cs", action="store_true")
     budget.add_argument("--m", type=int, default=150)
     budget.set_defaults(func=_cmd_budget)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run tracked performance benchmarks; gate regressions with --compare",
+        parents=[common],
+    )
+    bench.add_argument(
+        "--out",
+        help="benchmark ledger path (default: BENCH_<YYYYMMDD>.json in the cwd)",
+    )
+    bench.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="subset of registered benchmarks to run (default: all)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline ledger (default: the newest other "
+        "BENCH_*.json next to --out); exit 1 on regression, warn-and-pass "
+        "when no baseline exists yet",
+    )
+    bench.add_argument(
+        "--compare-only",
+        action="store_true",
+        help="skip running benchmarks; compare the existing --out ledger "
+        "against the baseline",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative wall-time growth that counts as a regression (0.20 = 20%%)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -421,11 +545,48 @@ def main(argv: Sequence[str] | None = None) -> int:
             level=getattr(logging, args.log_level.upper()),
             format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
         )
-    # --manifest implies profiling: the manifest is the profile artifact.
-    if args.profile or getattr(args, "manifest", None):
-        telemetry = Telemetry(logger=logging.getLogger("repro.telemetry"))
-        with activate(telemetry):
-            code = args.func(args)
+    # Artifact flags imply profiling: each names a telemetry artifact.
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    events_path = getattr(args, "events_out", None)
+    if (
+        args.profile
+        or getattr(args, "manifest", None)
+        or trace_path
+        or metrics_path
+        or events_path
+    ):
+        tracer = None
+        if trace_path:
+            from repro.core.tracing import Tracer
+
+            tracer = Tracer(label="driver")
+        event_sink = None
+        if events_path:
+            from repro.core.metrics import JsonlEventWriter
+
+            event_sink = JsonlEventWriter(events_path)
+        telemetry = Telemetry(
+            logger=logging.getLogger("repro.telemetry"),
+            tracer=tracer,
+            event_sink=event_sink,
+        )
+        try:
+            with activate(telemetry):
+                code = args.func(args)
+        finally:
+            if event_sink is not None:
+                event_sink.close()
+        if trace_path:
+            from repro.core.tracing import write_chrome_trace
+
+            write_chrome_trace(trace_path, tracer)
+            print(f"wrote trace to {trace_path}")
+        if metrics_path:
+            from repro.core.metrics import write_openmetrics
+
+            write_openmetrics(metrics_path, telemetry)
+            print(f"wrote metrics to {metrics_path}")
         print()
         print(telemetry.summary())
         return code

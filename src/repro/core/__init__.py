@@ -34,6 +34,7 @@ from repro.core.serialization import (
     load_result,
     save_result,
 )
+from repro.core.metrics import Histogram, JsonlEventWriter, write_openmetrics
 from repro.core.signal import DOMAINS, Signal
 from repro.core.simulator import SimulationResult, Simulator
 from repro.core.system import SystemGraph, SystemModel
@@ -42,10 +43,12 @@ from repro.core.telemetry import (
     NullTelemetry,
     RunManifest,
     Telemetry,
+    TelemetrySnapshot,
     activate,
     get_active,
     set_active,
 )
+from repro.core.tracing import Tracer, write_chrome_trace
 
 __all__ = [
     "Block",
@@ -62,11 +65,15 @@ __all__ = [
     "FrontEndEvaluator",
     "FunctionBlock",
     "Goal",
+    "Histogram",
+    "JsonlEventWriter",
     "NULL",
     "NullTelemetry",
     "Objective",
     "RunManifest",
     "Telemetry",
+    "TelemetrySnapshot",
+    "Tracer",
     "ParameterSpace",
     "PassthroughBlock",
     "PointEvaluationError",
@@ -92,4 +99,6 @@ __all__ = [
     "dominates",
     "pareto_front",
     "snr_power_goal",
+    "write_chrome_trace",
+    "write_openmetrics",
 ]

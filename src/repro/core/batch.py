@@ -55,7 +55,7 @@ import logging
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, NamedTuple
 
 import numpy as np
 
@@ -219,6 +219,21 @@ class CompiledBatch:
     members: list[CompiledPoint] = field(default_factory=list)
 
 
+class FallbackPoint(NamedTuple):
+    """One point demoted to the scalar path, with the attributed cause.
+
+    ``reason`` is a ``category:detail`` string -- e.g.
+    ``no_batch_kernel:FaultyChain``, ``chain_build_error:ValueError``,
+    ``group_failure:RuntimeError`` -- so sweeps can report *which* block
+    class or failure mode forced scalar demotion, not just how many
+    points were demoted.
+    """
+
+    index: int
+    point: DesignPoint
+    reason: str
+
+
 class BatchCompiler:
     """Groups sweep points into parameter-stacked, topology-sharing batches.
 
@@ -257,26 +272,52 @@ class BatchCompiler:
             )
         return tuple(parts)
 
+    @staticmethod
+    def demotion_reason(chain: Any) -> str | None:
+        """Why ``chain`` cannot batch (``None`` when it can).
+
+        Names every distinct block class in the chain that lacks a
+        ``process_batch`` kernel -- the attribution a sweep report needs
+        to say "these 40 points fell back because of ``FaultyChain``".
+        """
+        blocks = getattr(chain, "blocks", None)
+        if not blocks:
+            return f"no_blocks:{type(chain).__qualname__}"
+        missing = dict.fromkeys(
+            type(block).__qualname__
+            for block in blocks
+            if not callable(getattr(block, "process_batch", None))
+        )
+        if missing:
+            return "no_batch_kernel:" + ",".join(missing)
+        return None
+
     def compile(
         self, pending: Sequence[tuple[int, DesignPoint]]
-    ) -> tuple[list[CompiledBatch], list[tuple[int, DesignPoint]]]:
+    ) -> tuple[list[CompiledBatch], list[FallbackPoint]]:
         """Partition ``pending`` into vectorisable groups + scalar fallback.
 
         Points whose chain *construction* raises are also routed to the
         scalar path, so the error surfaces with the scalar path's exact
-        message and strict/isolation semantics.
+        message and strict/isolation semantics.  Every
+        :class:`FallbackPoint` carries the attributed demotion reason.
         """
         groups: dict[tuple, CompiledBatch] = {}
-        fallback: list[tuple[int, DesignPoint]] = []
+        fallback: list[FallbackPoint] = []
         for index, point in pending:
             try:
                 chain, run_seed = self.evaluator.build_point_chain(point)
                 key = self.chain_key(chain)
-            except Exception:
-                fallback.append((index, point))
+            except Exception as error:
+                fallback.append(
+                    FallbackPoint(
+                        index, point, f"chain_build_error:{type(error).__name__}"
+                    )
+                )
                 continue
             if key is None:
-                fallback.append((index, point))
+                reason = self.demotion_reason(chain) or "unbatchable_chain"
+                fallback.append(FallbackPoint(index, point, reason))
                 continue
             group = groups.setdefault(key, CompiledBatch(key=key))
             group.members.append(CompiledPoint(index, point, chain, run_seed))
@@ -326,9 +367,12 @@ class BatchedEvaluator:
         groups: list[CompiledBatch] = []
         if supports_batching(self.evaluator):
             groups, fallback = BatchCompiler(self.evaluator).compile(chunk)
-            scalar.extend((i, p, {"batch_fallback": 1}) for i, p in fallback)
+            for entry in fallback:
+                scalar.append(self._demote(tel, entry.index, entry.point, entry.reason))
         else:
-            scalar.extend((i, p, {"batch_fallback": 1}) for i, p in chunk)
+            reason = f"no_batch_protocol:{type(self.evaluator).__name__}"
+            for i, p in chunk:
+                scalar.append(self._demote(tel, i, p, reason))
 
         for group in groups:
             for start in range(0, len(group.members), self.max_group_points):
@@ -347,7 +391,10 @@ class BatchedEvaluator:
                         type(error).__name__,
                         error,
                     )
-                    scalar.extend((m.index, m.point, {"batch_fallback": 1}) for m in members)
+                    reason = f"group_failure:{type(error).__name__}"
+                    scalar.extend(
+                        self._demote(tel, m.index, m.point, reason) for m in members
+                    )
                     continue
                 elapsed = (time.perf_counter() - began) / len(members)
                 tel.count("batch.groups")
@@ -367,6 +414,14 @@ class BatchedEvaluator:
             stats = {**stats, **extra}
             rows[index] = (index, evaluation, elapsed, stats)
         return [rows[index] for index, _ in chunk]
+
+    @staticmethod
+    def _demote(
+        tel, index: int, point: DesignPoint, reason: str
+    ) -> tuple[int, DesignPoint, dict]:
+        """Record one scalar demotion (structured event + row stats)."""
+        tel.event("batch.fallback", index=index, reason=reason)
+        return index, point, {"batch_fallback": 1, "batch_fallback_reason": reason}
 
     def _run_group_with_policy(
         self, members: list[CompiledPoint], policy: ExecutionPolicy

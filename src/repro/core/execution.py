@@ -43,7 +43,13 @@ from pathlib import Path
 
 from repro.core.results import Evaluation
 from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
-from repro.core.telemetry import get_active
+from repro.core.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    get_active,
+    set_active,
+)
+from repro.core.tracing import Tracer
 from repro.power.technology import DesignPoint
 
 try:  # POSIX advisory locking; the fallback covers other platforms.
@@ -285,32 +291,79 @@ def chunk_pending(
 _WORKER_STATE: dict = {}
 
 
+@dataclass(frozen=True)
+class WorkerTelemetryConfig:
+    """Picklable description of the telemetry a pool worker should run.
+
+    The driver cannot ship its :class:`Telemetry` to workers (locks and
+    loggers do not pickle, and a copy would diverge immediately);
+    instead it ships this config, each worker builds a *real* local
+    telemetry from it, and chunk results carry
+    :class:`~repro.core.telemetry.TelemetrySnapshot` deltas home for
+    :meth:`Telemetry.merge`.  ``enabled=False`` (the default when the
+    driver itself runs disabled telemetry) keeps workers on the
+    zero-overhead :class:`NullTelemetry` path.
+    """
+
+    enabled: bool = False
+    trace: bool = False
+    max_events: int = 2_000
+
+
+def worker_label() -> str:
+    """The telemetry lane label of the current process."""
+    return f"worker-{os.getpid()}"
+
+
 def _init_worker(
-    evaluator: Callable, strict: bool, policy: ExecutionPolicy = DEFAULT_POLICY
+    evaluator: Callable,
+    strict: bool,
+    policy: ExecutionPolicy = DEFAULT_POLICY,
+    telemetry_config: WorkerTelemetryConfig | None = None,
 ) -> None:
-    """Process-pool initializer: receive the evaluator once per worker."""
+    """Process-pool initializer: receive the evaluator once per worker.
+
+    When the driver profiles, also build this worker's telemetry (with a
+    tracer lane named after the pid) and install it as the worker's
+    ambient sink, so the simulator/solver instrumentation deep inside
+    evaluations reports here instead of going dark.
+    """
     _WORKER_STATE["evaluator"] = evaluator
     _WORKER_STATE["strict"] = strict
     _WORKER_STATE["policy"] = policy
+    _WORKER_STATE.pop("telemetry", None)
+    if telemetry_config is not None and telemetry_config.enabled:
+        tracer = Tracer(label=worker_label()) if telemetry_config.trace else None
+        telemetry = Telemetry(max_events=telemetry_config.max_events, tracer=tracer)
+        _WORKER_STATE["telemetry"] = telemetry
+        set_active(telemetry)
+
+
+def _worker_snapshot() -> TelemetrySnapshot | None:
+    """Drain this worker's telemetry delta (``None`` when not profiling)."""
+    telemetry: Telemetry | None = _WORKER_STATE.get("telemetry")
+    if telemetry is None:
+        return None
+    return telemetry.drain_snapshot(label=worker_label())
 
 
 def _evaluate_chunk(
     chunk: list[tuple[int, DesignPoint]],
-) -> list[tuple[int, Evaluation, float, dict]]:
+) -> tuple[list[tuple[int, Evaluation, float, dict]], TelemetrySnapshot | None]:
     """Evaluate one chunk inside a pool worker (uses initializer state).
 
-    Returns ``(index, evaluation, elapsed_seconds, stats)`` tuples; the
-    driver aggregates the per-point timings and retry/timeout stats into
-    its telemetry (worker processes have no ambient telemetry of their
-    own).
+    Returns ``(rows, snapshot)``: ``(index, evaluation, elapsed_seconds,
+    stats)`` tuples for the driver's reassembly, plus this worker's
+    drained telemetry delta (``None`` when the driver is not profiling)
+    for :meth:`Telemetry.merge`.
     """
     evaluator = _WORKER_STATE["evaluator"]
     strict = _WORKER_STATE["strict"]
     policy = _WORKER_STATE.get("policy", DEFAULT_POLICY)
-    return [
-        (index, *evaluate_one_timed(evaluator, point, strict, policy))
-        for index, point in chunk
-    ]
+    rows = evaluate_chunk_with(
+        evaluator, strict, chunk, policy, telemetry=_WORKER_STATE.get("telemetry")
+    )
+    return rows, _worker_snapshot()
 
 
 def evaluate_chunk_with(
@@ -318,12 +371,24 @@ def evaluate_chunk_with(
     strict: bool,
     chunk: list[tuple[int, DesignPoint]],
     policy: ExecutionPolicy = DEFAULT_POLICY,
+    telemetry: Telemetry | None = None,
 ) -> list[tuple[int, Evaluation, float, dict]]:
-    """Evaluate one chunk with an explicit evaluator (thread-pool path)."""
-    return [
-        (index, *evaluate_one_timed(evaluator, point, strict, policy))
-        for index, point in chunk
-    ]
+    """Evaluate one chunk with an explicit evaluator (thread-pool path).
+
+    ``telemetry`` (when profiling) wraps the chunk in an
+    ``explore.shard`` span and each evaluation in an ``explore.point``
+    span, the skeleton of the hierarchical trace; disabled telemetry
+    reduces both to shared no-op context managers.
+    """
+    tel = telemetry if telemetry is not None else get_active()
+    rows: list[tuple[int, Evaluation, float, dict]] = []
+    with tel.span("explore.shard", points=len(chunk)):
+        for index, point in chunk:
+            with tel.span("explore.point", index=index):
+                rows.append(
+                    (index, *evaluate_one_timed(evaluator, point, strict, policy))
+                )
+    return rows
 
 
 def evaluate_batch_chunk_with(
@@ -344,14 +409,17 @@ def evaluate_batch_chunk_with(
 
 def _evaluate_batch_chunk(
     chunk: list[tuple[int, DesignPoint]],
-) -> list[tuple[int, Evaluation, float, dict]]:
+) -> tuple[list[tuple[int, Evaluation, float, dict]], TelemetrySnapshot | None]:
     """Batched analogue of :func:`_evaluate_chunk` (one shard per worker)."""
-    return evaluate_batch_chunk_with(
-        _WORKER_STATE["evaluator"],
-        _WORKER_STATE["strict"],
-        chunk,
-        _WORKER_STATE.get("policy", DEFAULT_POLICY),
-    )
+    tel = _WORKER_STATE.get("telemetry") or get_active()
+    with tel.span("explore.shard", points=len(chunk), batched=True):
+        rows = evaluate_batch_chunk_with(
+            _WORKER_STATE["evaluator"],
+            _WORKER_STATE["strict"],
+            chunk,
+            _WORKER_STATE.get("policy", DEFAULT_POLICY),
+        )
+    return rows, _worker_snapshot()
 
 
 # --- on-disk evaluation cache ------------------------------------------------

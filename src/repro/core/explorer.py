@@ -42,6 +42,7 @@ from repro.core.execution import (
     EvaluationCache,
     ExecutionPolicy,
     SweepCheckpoint,
+    WorkerTelemetryConfig,
     _evaluate_batch_chunk,
     _evaluate_chunk,
     _init_worker,
@@ -51,7 +52,7 @@ from repro.core.execution import (
     evaluate_one_timed,
     evaluator_fingerprint,
 )
-from repro.core.telemetry import Telemetry, get_active
+from repro.core.telemetry import Telemetry, activate, get_active
 from repro.core.parameters import CompositeSpace, ParameterSpace
 from repro.core.results import Evaluation, ExplorationResult
 from repro.core.signal import Signal
@@ -461,6 +462,7 @@ class DesignSpaceExplorer:
             if tel.enabled:
                 if elapsed is not None:
                     tel.record("explore.point_seconds", elapsed)
+                    tel.observe("explore.point_seconds", elapsed)
                 if stats:
                     if stats.get("retries"):
                         tel.count("explore.retries", stats["retries"])
@@ -500,19 +502,26 @@ class DesignSpaceExplorer:
                     )
 
         try:
-            with tel.span("explore.total"):
+            # Install `tel` as the ambient sink for the sweep's duration:
+            # the serial and in-process batched paths then feed the
+            # simulator/solver instrumentation (block spans, FISTA
+            # iteration stats) into the same sink the sweep reports to,
+            # which is what makes the exported trace hierarchical.
+            with activate(tel), tel.span("explore.total"):
                 tel.count("explore.sweeps")
                 mirrored: list[tuple[int, Evaluation]] = []
                 for index, point in enumerate(points):
                     evaluation = restored.get(index)
                     if evaluation is not None:
                         tel.count("explore.checkpoint_restored")
+                        tel.instant("checkpoint.restored", index=index)
                         finalize(index, evaluation, record=False)
                         continue
                     if cache_store is not None:
                         evaluation = cache_store.get(fingerprint, point)
                         if evaluation is not None:
                             tel.count("explore.cache_hits")
+                            tel.instant("cache.hit", index=index)
                             # Mirror the hit into the checkpoint so resume
                             # stays complete even without the cache
                             # directory; batched below into ONE durable
@@ -529,9 +538,10 @@ class DesignSpaceExplorer:
                 try:
                     if pending and executor == "serial":
                         for index, point in pending:
-                            evaluation, elapsed, stats = evaluate_one_timed(
-                                self.evaluator, point, strict, policy
-                            )
+                            with tel.span("explore.point", index=index):
+                                evaluation, elapsed, stats = evaluate_one_timed(
+                                    self.evaluator, point, strict, policy
+                                )
                             finalize(index, evaluation, elapsed=elapsed, stats=stats)
                     elif pending and executor == "batched":
                         self._run_batched(
@@ -593,8 +603,12 @@ class DesignSpaceExplorer:
         if executor == "process":
             self._run_process_pool(chunks, workers, strict, policy, finalize, tel)
             return
+        # Thread workers share the driver's telemetry directly (it is
+        # thread-safe); their spans land in per-thread trace lanes.
         pool = ThreadPoolExecutor(max_workers=workers)
-        task = partial(evaluate_chunk_with, self.evaluator, strict, policy=policy)
+        task = partial(
+            evaluate_chunk_with, self.evaluator, strict, policy=policy, telemetry=tel
+        )
         with pool:
             futures = {pool.submit(task, chunk) for chunk in chunks}
             try:
@@ -671,13 +685,22 @@ class DesignSpaceExplorer:
 
         The ladder terminates: isolation mode removes one point (the
         crasher) per break.  ``strict=True`` re-raises the first break.
+
+        When the driver profiles, each worker runs its own telemetry
+        (see :class:`~repro.core.execution.WorkerTelemetryConfig`) and
+        every completed chunk carries a drained snapshot home, merged
+        here -- so worker-side block/solver instrumentation, counters
+        and trace lanes all survive the process boundary.
         """
+        worker_config = WorkerTelemetryConfig(
+            enabled=tel.enabled, trace=tel.tracer is not None
+        )
 
         def make_pool(pool_workers: int) -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
                 max_workers=pool_workers,
                 initializer=_init_worker,
-                initargs=(self.evaluator, strict, policy),
+                initargs=(self.evaluator, strict, policy, worker_config),
             )
 
         remaining: dict[int, list[tuple[int, DesignPoint]]] = dict(enumerate(chunks))
@@ -695,8 +718,10 @@ class DesignSpaceExplorer:
                             done, _ = wait(futures, return_when=FIRST_COMPLETED)
                             for future in done:
                                 key = futures.pop(future)
-                                rows = future.result()
+                                rows, worker_snapshot = future.result()
                                 del remaining[key]
+                                if worker_snapshot is not None:
+                                    tel.merge(worker_snapshot)
                                 for index, evaluation, elapsed, stats in rows:
                                     finalize(
                                         index, evaluation, elapsed=elapsed, stats=stats
@@ -743,19 +768,26 @@ class DesignSpaceExplorer:
         dispatch -- but this is the degraded mode after two pool breaks,
         trading throughput for guaranteed completion.
         """
+        worker_config = WorkerTelemetryConfig(
+            enabled=tel.enabled, trace=tel.tracer is not None
+        )
         queue = list(points)
         while queue:
             pool = ProcessPoolExecutor(
                 max_workers=1,
                 initializer=_init_worker,
-                initargs=(self.evaluator, strict, policy),
+                initargs=(self.evaluator, strict, policy, worker_config),
             )
             try:
                 with pool:
                     while queue:
                         index, point = queue[0]
-                        rows = pool.submit(_evaluate_chunk, [(index, point)]).result()
+                        rows, worker_snapshot = pool.submit(
+                            _evaluate_chunk, [(index, point)]
+                        ).result()
                         queue.pop(0)
+                        if worker_snapshot is not None:
+                            tel.merge(worker_snapshot)
                         for idx, evaluation, elapsed, stats in rows:
                             finalize(idx, evaluation, elapsed=elapsed, stats=stats)
             except BrokenProcessPool:

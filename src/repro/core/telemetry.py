@@ -22,13 +22,22 @@ reports what it is doing:
   argument through every call.  Worker *processes* start with the
   disabled default, so parallel sweeps aggregate per-point timings on the
   driver side instead (the executors return them).
+* **Cross-process aggregation** -- worker processes run a real per-worker
+  :class:`Telemetry`; :meth:`Telemetry.drain_snapshot` packages its state
+  as a picklable :class:`TelemetrySnapshot` delta that ships home with
+  the chunk results, and the driver folds it in with the associative
+  :meth:`Telemetry.merge` -- so counters, span/value stats, histograms,
+  events and trace lanes from every worker land in one driver-side sink.
 * :class:`RunManifest` -- the JSON artifact a profiled run writes next to
   its outputs: seed, scale preset, grid size, per-phase timings, per-block
-  power *and* time breakdowns, sweep statistics and the ETA history.
+  power *and* time breakdowns, sweep statistics, latency histograms,
+  per-worker counters, the trace digest and the ETA history.
 
 Everything here is stdlib-only (``time``, ``threading``, ``json``,
-``logging``) by design: telemetry must never add a dependency, and this
-module must stay importable from anywhere in the package without cycles.
+``logging``; the :mod:`repro.core.metrics` and :mod:`repro.core.tracing`
+helpers it builds on are stdlib-only too) by design: telemetry must
+never add a dependency, and this module must stay importable from
+anywhere in the package without cycles.
 """
 
 from __future__ import annotations
@@ -40,33 +49,47 @@ import platform
 import sys
 import threading
 import time
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+
+from repro.core.metrics import Histogram
 
 log = logging.getLogger("repro.telemetry")
 
 #: Version stamp of the :class:`RunManifest` JSON schema.
 #: v2 added the ``robustness`` section (fault/retry/timeout accounting and
 #: yield-analysis digests) and the hardened-execution counters in ``sweep``.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3 added ``trace`` (hierarchical-trace digest), ``workers`` (per-worker
+#: counter/span totals) and ``histograms`` (fixed-bucket latency/iteration
+#: distributions with p50/p95/p99), plus stddev in every stats dict.
+MANIFEST_SCHEMA_VERSION = 3
 
 
 @dataclass
 class Stats:
-    """Streaming aggregate of one named quantity (count/total/min/max)."""
+    """Streaming aggregate of one named quantity.
+
+    Keeps count/total/min/max plus the Welford ``m2`` running sum of
+    squared deviations, so :attr:`stddev` is available without retaining
+    observations -- latency *jitter* is as diagnostic as latency mean.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    #: Welford running sum of squared deviations from the mean.
+    m2: float = 0.0
 
     def add(self, value: float) -> None:
-        """Fold one observation into the aggregate."""
+        """Fold one observation into the aggregate (Welford update)."""
         value = float(value)
+        mean_before = self.total / self.count if self.count else 0.0
         self.count += 1
         self.total += value
+        self.m2 += (value - mean_before) * (value - self.total / self.count)
         if value < self.min:
             self.min = value
         if value > self.max:
@@ -77,33 +100,89 @@ class Stats:
         """Mean observation (nan before the first one)."""
         return self.total / self.count if self.count else math.nan
 
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator; nan below two observations)."""
+        return self.m2 / (self.count - 1) if self.count >= 2 else math.nan
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (nan below two observations)."""
+        return math.sqrt(self.variance) if self.count >= 2 else math.nan
+
+    def merge(self, other: "Stats") -> "Stats":
+        """Fold ``other`` into this aggregate (Chan's parallel combine).
+
+        count/total/min/max combine exactly; ``m2`` combines with the
+        standard pairwise-variance formula, so merging per-worker stats
+        yields the same moments as observing the union (up to float
+        rounding) regardless of merge order.
+        """
+        if not other.count:
+            return self
+        if not self.count:
+            self.count, self.total = other.count, other.total
+            self.min, self.max, self.m2 = other.min, other.max, other.m2
+            return self
+        n1, n2 = self.count, other.count
+        delta = other.total / n2 - self.total / n1
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2)
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def copy(self) -> "Stats":
+        """Independent copy (merge mutates in place)."""
+        return Stats(
+            count=self.count, total=self.total, min=self.min, max=self.max, m2=self.m2
+        )
+
     def to_dict(self) -> dict:
-        """JSON-ready dict (infinities of an empty aggregate become None)."""
+        """JSON-ready dict (infinities/NaNs of small aggregates become None)."""
         return {
             "count": self.count,
             "total": self.total,
             "mean": None if not self.count else self.mean,
             "min": None if not self.count else self.min,
             "max": None if not self.count else self.max,
+            "stddev": None if self.count < 2 else self.stddev,
         }
 
 
 class _Span:
-    """Context manager timing one region into a :class:`Telemetry`."""
+    """Context manager timing one region into a :class:`Telemetry`.
 
-    __slots__ = ("_telemetry", "_name", "_start")
+    When the telemetry carries a :class:`~repro.core.tracing.Tracer`,
+    entering also opens one trace span instance (with explicit span ID
+    and the same thread's enclosing span as parent), so aggregate stats
+    and the hierarchical timeline come from a single instrumentation
+    point.
+    """
 
-    def __init__(self, telemetry: "Telemetry", name: str):
+    __slots__ = ("_telemetry", "_name", "_start", "_args", "_token")
+
+    def __init__(self, telemetry: "Telemetry", name: str, args: dict | None = None):
         self._telemetry = telemetry
         self._name = name
+        self._args = args
         self._start = 0.0
+        self._token = None
 
     def __enter__(self) -> "_Span":
+        tracer = self._telemetry.tracer
+        if tracer is not None:
+            self._token = tracer.start(self._name, **(self._args or {}))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self._telemetry._record_span(self._name, time.perf_counter() - self._start)
+        if self._token is not None:
+            self._telemetry.tracer.finish(self._token)
 
 
 class _NullSpan:
@@ -139,18 +218,38 @@ class Telemetry:
         Bound on the retained event list.  Once full, further events are
         counted (``events_dropped`` counter) but not stored, so unbounded
         sweeps cannot grow memory without limit.
+    tracer:
+        Optional :class:`~repro.core.tracing.Tracer`; when attached,
+        every :meth:`span` also records one hierarchical trace event and
+        :meth:`instant` markers become timeline instants.
+    event_sink:
+        Optional callable receiving every :meth:`event` payload (e.g.
+        :class:`~repro.core.metrics.JsonlEventWriter`); called outside
+        the lock, and isolated -- a raising sink is logged, not raised.
     """
 
     enabled = True
 
-    def __init__(self, logger: logging.Logger | None = None, max_events: int = 10_000):
+    def __init__(
+        self,
+        logger: logging.Logger | None = None,
+        max_events: int = 10_000,
+        tracer=None,
+        event_sink: Callable[[dict], None] | None = None,
+    ):
         self._lock = threading.Lock()
         self._logger = logger
         self.max_events = int(max_events)
+        self.tracer = tracer
+        self.event_sink = event_sink
         self.counters: dict[str, float] = {}
         self.spans: dict[str, Stats] = {}
         self.values: dict[str, Stats] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.events: list[dict] = []
+        #: Per-worker digests accumulated by :meth:`merge`:
+        #: label -> {"counters": {...}, "span_seconds": {...}, "merges": n}.
+        self.workers: dict[str, dict] = {}
 
     # --- recording hooks ------------------------------------------------------
 
@@ -167,9 +266,28 @@ class Telemetry:
                 stats = self.values[name] = Stats()
             stats.add(value)
 
-    def span(self, name: str) -> _Span:
-        """Context manager timing a region: ``with tel.span("solve"): ...``."""
-        return _Span(self, name)
+    def observe(self, name: str, value: float, bounds: tuple | None = None) -> None:
+        """Fold one observation into the fixed-bucket histogram ``name``.
+
+        ``bounds`` picks the bucket upper bounds on first use (default:
+        the latency buckets); later calls ignore it, so every observer
+        of one quantity shares one histogram.
+        """
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = (
+                    Histogram(bounds=bounds) if bounds is not None else Histogram()
+                )
+            histogram.observe(value)
+
+    def span(self, name: str, **args) -> _Span:
+        """Context manager timing a region: ``with tel.span("solve"): ...``.
+
+        ``args`` annotate the trace event (ignored without a tracer):
+        ``tel.span("explore.point", index=i)``.
+        """
+        return _Span(self, name, args or None)
 
     def _record_span(self, name: str, elapsed_s: float) -> None:
         with self._lock:
@@ -177,6 +295,15 @@ class Telemetry:
             if stats is None:
                 stats = self.spans[name] = Stats()
             stats.add(elapsed_s)
+
+    def instant(self, name: str, **args) -> None:
+        """Mark a zero-duration timeline occurrence (cache hit, restore).
+
+        A no-op without an attached tracer: instants exist for the
+        timeline, the corresponding counters carry the aggregates.
+        """
+        if self.tracer is not None:
+            self.tracer.instant(name, **args)
 
     def event(self, kind: str, **fields) -> None:
         """Append one structured event (bounded; see ``max_events``)."""
@@ -188,8 +315,101 @@ class Telemetry:
                 self.counters["telemetry.events_dropped"] = (
                     self.counters.get("telemetry.events_dropped", 0) + 1
                 )
+        if self.event_sink is not None:
+            try:
+                self.event_sink(payload)
+            except Exception:  # noqa: BLE001 - a sink must never kill the run
+                log.warning("telemetry event sink raised", exc_info=True)
         if self._logger is not None:
             self._logger.debug("%s %s", kind, fields)
+
+    # --- snapshots and merging ------------------------------------------------
+
+    def to_snapshot(self, label: str = "", drain: bool = False) -> "TelemetrySnapshot":
+        """Picklable copy of the full state (see :class:`TelemetrySnapshot`).
+
+        ``drain=True`` atomically resets the state after copying -- the
+        worker-side discipline: each chunk ships a *delta* home, so the
+        driver's :meth:`merge` sums to exactly the union of all worker
+        activity, however many chunks each worker ran.
+        """
+        with self._lock:
+            snapshot = TelemetrySnapshot(
+                label=label,
+                counters=dict(self.counters),
+                spans={name: s.copy() for name, s in self.spans.items()},
+                values={name: s.copy() for name, s in self.values.items()},
+                histograms={name: h.copy() for name, h in self.histograms.items()},
+                events=[dict(e) for e in self.events],
+                max_events=self.max_events,
+            )
+            if drain:
+                self.counters = {}
+                self.spans = {}
+                self.values = {}
+                self.histograms = {}
+                self.events = []
+        if self.tracer is not None:
+            snapshot.trace = self.tracer.snapshot(drain=drain)
+        return snapshot
+
+    def drain_snapshot(self, label: str = "") -> "TelemetrySnapshot":
+        """:meth:`to_snapshot` with ``drain=True`` (the worker-side call)."""
+        return self.to_snapshot(label=label, drain=True)
+
+    def merge(self, snapshot: "TelemetrySnapshot", worker: str | None = None) -> None:
+        """Fold a :class:`TelemetrySnapshot` into this telemetry.
+
+        Associative and commutative on the aggregates: counters add,
+        span/value stats combine via :meth:`Stats.merge`, histograms sum
+        bucket-wise, events append (bounded, drops counted), and trace
+        events file under their original process lane.  ``worker``
+        (default: the snapshot's label) additionally accumulates the
+        snapshot's counters and span totals into :attr:`workers`, the
+        per-worker attribution the run manifest reports.
+        """
+        label = worker if worker is not None else snapshot.label
+        with self._lock:
+            for name, amount in snapshot.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + amount
+            for name, stats in snapshot.spans.items():
+                mine = self.spans.get(name)
+                if mine is None:
+                    self.spans[name] = stats.copy()
+                else:
+                    mine.merge(stats)
+            for name, stats in snapshot.values.items():
+                mine = self.values.get(name)
+                if mine is None:
+                    self.values[name] = stats.copy()
+                else:
+                    mine.merge(stats)
+            for name, histogram in snapshot.histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    self.histograms[name] = histogram.copy()
+                else:
+                    mine.merge(histogram)
+            for payload in snapshot.events:
+                if len(self.events) < self.max_events:
+                    self.events.append(dict(payload))
+                else:
+                    self.counters["telemetry.events_dropped"] = (
+                        self.counters.get("telemetry.events_dropped", 0) + 1
+                    )
+            if label:
+                digest = self.workers.setdefault(
+                    label, {"counters": {}, "span_seconds": {}, "merges": 0}
+                )
+                digest["merges"] += 1
+                for name, amount in snapshot.counters.items():
+                    digest["counters"][name] = digest["counters"].get(name, 0) + amount
+                for name, stats in snapshot.spans.items():
+                    digest["span_seconds"][name] = (
+                        digest["span_seconds"].get(name, 0.0) + stats.total
+                    )
+        if self.tracer is not None and snapshot.trace is not None:
+            self.tracer.absorb(snapshot.trace)
 
     # --- reporting ------------------------------------------------------------
 
@@ -200,7 +420,18 @@ class Telemetry:
                 "counters": dict(self.counters),
                 "spans": {name: s.to_dict() for name, s in self.spans.items()},
                 "values": {name: s.to_dict() for name, s in self.values.items()},
+                "histograms": {
+                    name: h.to_dict() for name, h in self.histograms.items()
+                },
                 "events": [dict(e) for e in self.events],
+                "workers": {
+                    label: {
+                        "counters": dict(digest["counters"]),
+                        "span_seconds": dict(digest["span_seconds"]),
+                        "merges": digest["merges"],
+                    }
+                    for label, digest in self.workers.items()
+                },
             }
 
     def timers(self, prefix: str = "") -> dict[str, float]:
@@ -227,43 +458,85 @@ class Telemetry:
             counters = dict(self.counters)
             spans = {k: v for k, v in self.spans.items()}
             values = {k: v for k, v in self.values.items()}
+            histograms = {k: v for k, v in self.histograms.items()}
+            workers = sorted(self.workers)
             n_events = len(self.events)
+            max_events = self.max_events
         lines: list[str] = ["== telemetry summary =="]
+        dropped = counters.get("telemetry.events_dropped", 0)
+        if dropped:
+            # Surfaced first and loudly: silently truncated event trails
+            # have repeatedly masked the interesting end of long sweeps.
+            lines.append(
+                f"WARNING: {dropped:g} event(s) dropped -- the bounded buffer "
+                f"filled at max_events={max_events}; construct "
+                f"Telemetry(max_events=<larger>) to keep the full trail"
+            )
         if counters:
             lines.append("")
             lines.append(f"{'counter':<40}{'value':>14}")
             for name in sorted(counters):
                 lines.append(f"{name:<40}{counters[name]:>14g}")
+
+        def _stats_table(title: str, table: dict[str, Stats]) -> None:
+            lines.append("")
+            lines.append(
+                f"{title:<40}{'count':>8}{'total':>12}{'mean':>12}"
+                f"{'stddev':>12}{'min':>12}{'max':>12}"
+            )
+            for name in sorted(table):
+                s = table[name]
+                lines.append(
+                    f"{name:<40}{s.count:>8d}{s.total:>12.4g}{s.mean:>12.4g}"
+                    f"{s.stddev:>12.4g}{s.min:>12.4g}{s.max:>12.4g}"
+                )
         if spans:
-            lines.append("")
-            lines.append(
-                f"{'span':<40}{'calls':>8}{'total s':>12}{'mean s':>12}"
-                f"{'min s':>12}{'max s':>12}"
-            )
-            for name in sorted(spans):
-                s = spans[name]
-                lines.append(
-                    f"{name:<40}{s.count:>8d}{s.total:>12.4g}{s.mean:>12.4g}"
-                    f"{s.min:>12.4g}{s.max:>12.4g}"
-                )
+            _stats_table("span [s]", spans)
         if values:
+            _stats_table("value", values)
+        if histograms:
             lines.append("")
             lines.append(
-                f"{'value':<40}{'count':>8}{'total':>12}{'mean':>12}"
-                f"{'min':>12}{'max':>12}"
+                f"{'histogram':<40}{'count':>8}{'p50':>12}{'p95':>12}{'p99':>12}"
             )
-            for name in sorted(values):
-                s = values[name]
+            for name in sorted(histograms):
+                h = histograms[name]
                 lines.append(
-                    f"{name:<40}{s.count:>8d}{s.total:>12.4g}{s.mean:>12.4g}"
-                    f"{s.min:>12.4g}{s.max:>12.4g}"
+                    f"{name:<40}{h.count:>8d}{h.quantile(0.5):>12.4g}"
+                    f"{h.quantile(0.95):>12.4g}{h.quantile(0.99):>12.4g}"
                 )
+        if workers:
+            lines.append("")
+            lines.append(f"worker lanes merged: {', '.join(workers)}")
         if n_events:
             lines.append("")
             lines.append(f"events recorded: {n_events}")
         if len(lines) == 1:
             lines.append("(nothing recorded)")
         return "\n".join(lines)
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Picklable state delta of one :class:`Telemetry`.
+
+    This is the payload worker processes ship back with their chunk
+    results: plain dataclasses (:class:`Stats`,
+    :class:`~repro.core.metrics.Histogram`) and plain dicts, so it
+    pickles across a process pool without dragging locks, loggers or
+    file handles along.  ``trace`` is a
+    :meth:`~repro.core.tracing.Tracer.snapshot` payload (or ``None``
+    when the worker ran without tracing).
+    """
+
+    label: str = ""
+    counters: dict = field(default_factory=dict)
+    spans: dict = field(default_factory=dict)
+    values: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    trace: dict | None = None
+    max_events: int = 0
 
 
 class NullTelemetry(Telemetry):
@@ -283,8 +556,14 @@ class NullTelemetry(Telemetry):
     def record(self, name: str, value: float) -> None:
         pass
 
-    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+    def observe(self, name: str, value: float, bounds: tuple | None = None) -> None:
+        pass
+
+    def span(self, name: str, **args) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN
+
+    def instant(self, name: str, **args) -> None:
+        pass
 
     def event(self, kind: str, **fields) -> None:
         pass
@@ -358,6 +637,14 @@ class RunManifest:
     #: Robustness accounting: fault/retry/timeout counters and, for yield
     #: runs, the severity grid, clean references and yield curves.
     robustness: dict = field(default_factory=dict)
+    #: Hierarchical-trace digest: event/drop counts and the pid -> label
+    #: lane table (the trace bodies live in the ``--trace`` JSON file).
+    trace: dict = field(default_factory=dict)
+    #: Per-worker attribution: label -> counters and span-second totals
+    #: merged from that worker's telemetry snapshots.
+    workers: dict = field(default_factory=dict)
+    #: Fixed-bucket latency/iteration histograms (bucket counts + p50/95/99).
+    histograms: dict = field(default_factory=dict)
     #: Completion-order progress events (done/total/elapsed/ETA).
     eta_history: list = field(default_factory=list)
     environment: dict = field(default_factory=dict)

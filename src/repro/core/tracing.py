@@ -1,0 +1,295 @@
+"""Hierarchical tracing: parent/child spans, lanes, Chrome-trace export.
+
+The flat ``Telemetry`` span *statistics* answer "how much total time went
+into FISTA"; they cannot answer "which shard stalled at minute three".
+This module records the individual span instances -- with explicit span
+IDs, parent links, and a (process, thread) lane per event -- and exports
+them as Chrome trace-event JSON, loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* :class:`Tracer` -- a thread-safe, bounded recorder attached to a
+  :class:`~repro.core.telemetry.Telemetry`.  Every ``telemetry.span()``
+  entered while a tracer is attached emits one complete ("X") event;
+  the parent is whatever span the *same thread* is currently inside
+  (a thread-local stack), which is how sweep -> shard -> point -> block
+  -> solver nesting emerges without any block knowing about tracing.
+* **Instant events** -- :meth:`Tracer.instant` marks zero-duration
+  occurrences (cache hits, checkpoint restores, batch demotions) as
+  "i" events so they are visible on the timeline without faking spans.
+* **Cross-process lanes** -- each tracer stamps its events with its
+  ``os.getpid()`` and a human label ("driver", "worker-1234").  Worker
+  tracers ship their events home inside a telemetry snapshot; the
+  driver's :meth:`Tracer.absorb` files them under the worker's lane, so
+  the exported trace shows one swimlane per process.
+
+Timestamps: events are recorded with ``time.perf_counter()`` (monotonic,
+sub-microsecond) and exported on an epoch-aligned axis by anchoring each
+tracer's perf-counter origin to ``time.time()`` once at construction.
+Lanes from different processes therefore line up to wall-clock accuracy,
+which on one machine is far below a design-point evaluation.
+
+Stdlib-only by design (``os``, ``threading``, ``time``, ``json``): the
+telemetry stack must stay importable from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+#: Bound on retained trace events per tracer; at ~6 events per design
+#: point (point + blocks + solver) this covers sweeps of ~30k points.
+DEFAULT_MAX_TRACE_EVENTS = 200_000
+
+#: Trace snapshot schema (the picklable payload workers ship home).
+TRACE_SNAPSHOT_VERSION = 1
+
+
+def _category(name: str) -> str:
+    """Trace category of a span name: the prefix before the first dot."""
+    return name.split(".", 1)[0]
+
+
+class _SpanToken:
+    """Open-span bookkeeping handed from :meth:`Tracer.start` to ``finish``."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start_perf", "args")
+
+    def __init__(self, name: str, span_id: str, parent_id: str | None, args: dict):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_perf = time.perf_counter()
+        self.args = args
+
+
+class Tracer:
+    """Thread-safe recorder of individual span instances and instants.
+
+    Parameters
+    ----------
+    label:
+        Human name of this process's lane ("driver", "worker-51123").
+    max_events:
+        Bound on retained events; once full, further events are counted
+        (``dropped``) but discarded, so tracing an unbounded sweep
+        cannot grow memory without limit.
+    """
+
+    def __init__(self, label: str = "driver", max_events: int = DEFAULT_MAX_TRACE_EVENTS):
+        self.label = str(label)
+        self.pid = os.getpid()
+        self.max_events = int(max_events)
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        #: pid -> lane label, including lanes absorbed from workers.
+        self._lanes: dict[int, str] = {self.pid: self.label}
+        self._stack = threading.local()
+        self._next_id = 0
+        self._tids: dict[int, int] = {}
+        # Epoch anchor: perf_counter deltas from here map onto wall time.
+        self._epoch_unix = time.time()
+        self._epoch_perf = time.perf_counter()
+
+    # --- recording ------------------------------------------------------------
+
+    def _thread_stack(self) -> list:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        return stack
+
+    def _tid(self) -> int:
+        """Small stable per-thread lane id (1, 2, ... in first-seen order)."""
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._tids.get(ident)
+            if tid is None:
+                tid = self._tids[ident] = len(self._tids) + 1
+            return tid
+
+    def _allocate_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"{self.pid}:{self._next_id}"
+
+    def _to_unix(self, perf: float) -> float:
+        return self._epoch_unix + (perf - self._epoch_perf)
+
+    def start(self, name: str, **args) -> _SpanToken:
+        """Open one span instance; the same thread's open span is its parent."""
+        stack = self._thread_stack()
+        parent_id = stack[-1].span_id if stack else None
+        token = _SpanToken(name, self._allocate_id(), parent_id, args)
+        stack.append(token)
+        return token
+
+    def finish(self, token: _SpanToken) -> None:
+        """Close ``token`` and record its complete event."""
+        end_perf = time.perf_counter()
+        stack = self._thread_stack()
+        # Tolerate out-of-order exits (a generator span escaping its
+        # frame): pop up to and including the token instead of asserting.
+        while stack:
+            if stack.pop() is token:
+                break
+        self._append(
+            {
+                "ph": "X",
+                "name": token.name,
+                "cat": _category(token.name),
+                "t": self._to_unix(token.start_perf),
+                "dur": end_perf - token.start_perf,
+                "pid": self.pid,
+                "tid": self._tid(),
+                "id": token.span_id,
+                "parent": token.parent_id,
+                "args": token.args,
+            }
+        )
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker (cache hit, restore, demotion)."""
+        stack = self._thread_stack()
+        self._append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": _category(name),
+                "t": self._to_unix(time.perf_counter()),
+                "dur": 0.0,
+                "pid": self.pid,
+                "tid": self._tid(),
+                "id": self._allocate_id(),
+                "parent": stack[-1].span_id if stack else None,
+                "args": args,
+            }
+        )
+
+    def _append(self, event: dict) -> None:
+        with self._lock:
+            if len(self._events) < self.max_events:
+                self._events.append(event)
+            else:
+                self.dropped += 1
+
+    # --- snapshot / merge -------------------------------------------------------
+
+    def snapshot(self, drain: bool = False) -> dict:
+        """Picklable copy of the recorded events and lane table.
+
+        ``drain=True`` atomically clears the event buffer (worker chunks
+        ship deltas home, so driver-side absorption never double-counts).
+        """
+        with self._lock:
+            events = list(self._events)
+            lanes = dict(self._lanes)
+            dropped = self.dropped
+            if drain:
+                self._events = []
+                self.dropped = 0
+        return {
+            "version": TRACE_SNAPSHOT_VERSION,
+            "label": self.label,
+            "pid": self.pid,
+            "events": events,
+            "lanes": lanes,
+            "dropped": dropped,
+        }
+
+    def absorb(self, snapshot: dict) -> None:
+        """File another tracer's snapshot under its own lanes.
+
+        Events keep their original pid/tid (that *is* the lane), so a
+        worker's spans render in the worker's swimlane, not the driver's.
+        """
+        if snapshot.get("version") != TRACE_SNAPSHOT_VERSION:
+            raise ValueError(
+                f"trace snapshot version {snapshot.get('version')!r} != "
+                f"supported {TRACE_SNAPSHOT_VERSION}"
+            )
+        with self._lock:
+            self._lanes.update(snapshot.get("lanes", {}))
+            room = self.max_events - len(self._events)
+            events = snapshot["events"]
+            self._events.extend(events[:room])
+            self.dropped += snapshot.get("dropped", 0) + max(0, len(events) - room)
+
+    @property
+    def n_events(self) -> int:
+        """Number of retained events (post-drop)."""
+        with self._lock:
+            return len(self._events)
+
+    def lanes(self) -> dict[int, str]:
+        """pid -> label for every lane seen (own + absorbed)."""
+        with self._lock:
+            return dict(self._lanes)
+
+    def summary(self) -> dict:
+        """JSON-ready digest for the run manifest (no event bodies)."""
+        with self._lock:
+            return {
+                "events": len(self._events),
+                "dropped": self.dropped,
+                "lanes": {str(pid): label for pid, label in sorted(self._lanes.items())},
+            }
+
+
+# --- Chrome trace-event export -----------------------------------------------
+
+
+def chrome_trace(snapshot: dict) -> dict:
+    """Convert a :meth:`Tracer.snapshot` into Chrome trace-event JSON.
+
+    Emits the JSON-object flavour (``{"traceEvents": [...]}``) with
+    process-name metadata per lane, complete ("X") events carrying
+    ``span_id``/``parent_id`` in their args, and instant ("i") events
+    with thread scope.  Timestamps are microseconds (the format's unit);
+    durations are floored at a tenth of a microsecond so zero-length
+    spans stay clickable in Perfetto.
+    """
+    events: list[dict] = []
+    lanes = snapshot.get("lanes", {})
+    for pid, label in sorted(lanes.items(), key=lambda item: int(item[0])):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": int(pid),
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for record in snapshot["events"]:
+        exported = {
+            "ph": record["ph"],
+            "name": record["name"],
+            "cat": record["cat"],
+            "pid": record["pid"],
+            "tid": record["tid"],
+            "ts": record["t"] * 1e6,
+            "args": {
+                **record.get("args", {}),
+                "span_id": record["id"],
+                "parent_id": record["parent"],
+            },
+        }
+        if record["ph"] == "X":
+            exported["dur"] = max(record["dur"] * 1e6, 0.1)
+        else:
+            exported["s"] = "t"  # thread-scoped instant
+        events.append(exported)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer) -> Path:
+    """Write ``tracer``'s events as a Chrome/Perfetto trace file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer.snapshot())) + "\n")
+    return path

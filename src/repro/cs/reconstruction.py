@@ -56,6 +56,15 @@ def _note_solve(method: str, iterations: int, frames: int, elapsed_s: float) -> 
     telemetry.count(f"cs.{method}.frames", frames)
     telemetry.record(f"cs.{method}.iterations", iterations)
     telemetry.record(f"cs.{method}.solve_seconds", elapsed_s)
+    # Histograms add the tail view the mean-based stats above cannot: a
+    # p99 iteration count at the solver's cap flags near-divergence even
+    # when the average looks healthy.
+    from repro.core.metrics import DEFAULT_ITERATION_BUCKETS
+
+    telemetry.observe(
+        f"cs.{method}.iterations", iterations, bounds=DEFAULT_ITERATION_BUCKETS
+    )
+    telemetry.observe(f"cs.{method}.solve_seconds", elapsed_s)
 
 
 def least_squares_on_support(

@@ -429,6 +429,11 @@ def build_run_manifest(
         # Thin evenly but always keep the final event (the run's end state).
         stride = -(-len(eta_history) // max_eta_events)
         eta_history = eta_history[::stride] + [eta_history[-1]]
+    batch_fallbacks = [
+        {"index": event.get("index"), "reason": event.get("reason")}
+        for event in snapshot["events"]
+        if event["kind"] == "batch.fallback"
+    ]
 
     best = sweep.best()
     representative = best if best is not None else next(
@@ -462,10 +467,17 @@ def build_run_manifest(
             "worker_crashes": counters.get("explore.worker_crashes", 0),
             "interrupted": counters.get("explore.interrupted", 0),
             "point_seconds": point_stats,
+            "events_dropped": counters.get("telemetry.events_dropped", 0),
+            "max_events": telemetry.max_events,
+            "batch_fallback_points": counters.get("explore.batch_fallback_points", 0),
+            "batch_fallbacks": batch_fallbacks,
             "representative_point": (
                 representative.point.describe() if representative else None
             ),
         },
+        trace=telemetry.tracer.summary() if telemetry.tracer is not None else {},
+        workers=snapshot["workers"],
+        histograms=snapshot["histograms"],
         eta_history=eta_history,
         environment=RunManifest.describe_environment(),
     )

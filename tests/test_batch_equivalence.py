@@ -217,7 +217,8 @@ class TestFaultFallback:
         points = [DesignPoint(n_bits=8, lna_noise_rms=5e-6)]
         batches, fallback = BatchCompiler(evaluator).compile(list(enumerate(points)))
         assert not batches
-        assert [index for index, _ in fallback] == [0]
+        assert [entry.index for entry in fallback] == [0]
+        assert fallback[0].reason.startswith("no_batch_kernel:")
 
     @settings(max_examples=6, **COMMON)
     @given(points=baseline_points)

@@ -1,0 +1,158 @@
+"""Tests of the benchmark ledger and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    append_records,
+    bench_batched_sweep,
+    bench_parallel_sweep,
+    best_wall_times,
+    compare_records,
+    default_ledger_path,
+    find_baseline,
+    load_records,
+    render_comparison,
+    run_benchmarks,
+)
+from repro.cli import main
+
+
+def record(name: str, wall_s: float) -> BenchRecord:
+    return BenchRecord(name=name, wall_s=wall_s, points=64, reps=3, created_unix=1.0)
+
+
+class TestLedger:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_20260806.json"
+        append_records(path, [record("batched-sweep", 0.5)])
+        append_records(path, [record("batched-sweep", 0.4)])
+        records = load_records(path)
+        assert [r.wall_s for r in records] == [0.5, 0.4]
+        assert all(r.schema == BENCH_SCHEMA_VERSION for r in records)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["records"][0]["points_per_s"] == pytest.approx(64 / 0.5)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": 999, "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_records(path)
+
+    def test_default_path_is_dated(self, tmp_path):
+        path = default_ledger_path(tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+
+    def test_find_baseline_picks_newest_other_ledger(self, tmp_path):
+        out = tmp_path / "BENCH_20260806.json"
+        append_records(tmp_path / "BENCH_20260801.json", [record("a", 1.0)])
+        append_records(tmp_path / "BENCH_20260804.json", [record("a", 1.0)])
+        append_records(out, [record("a", 1.0)])
+        assert find_baseline(out) == tmp_path / "BENCH_20260804.json"
+        assert find_baseline(tmp_path / "BENCH_none.json") is not None
+        assert find_baseline(tmp_path / "empty" / "BENCH_x.json") is None
+
+
+class TestCompare:
+    def test_best_wall_times_takes_minimum(self):
+        best = best_wall_times([record("a", 0.5), record("a", 0.3), record("b", 1.0)])
+        assert best == {"a": 0.3, "b": 1.0}
+
+    def test_regression_over_threshold_flagged(self):
+        rows = compare_records(
+            [record("a", 1.0)], [record("a", 1.25)], threshold=0.20
+        )
+        assert rows[0]["regressed"] is True
+        assert rows[0]["ratio"] == pytest.approx(1.25)
+
+    def test_slowdown_within_threshold_passes(self):
+        rows = compare_records([record("a", 1.0)], [record("a", 1.1)], threshold=0.20)
+        assert rows[0]["regressed"] is False
+
+    def test_one_sided_benchmarks_never_fail_the_gate(self):
+        rows = compare_records([record("old", 1.0)], [record("new", 1.0)])
+        assert not any(row["regressed"] for row in rows)
+        text = render_comparison(rows, threshold=0.20)
+        assert "no baseline" in text and "not run" in text
+
+    def test_render_marks_regressions(self):
+        rows = compare_records([record("a", 1.0)], [record("a", 2.0)])
+        assert "REGRESSED" in render_comparison(rows, threshold=0.20)
+
+
+class TestBenchCli:
+    def _ledger(self, tmp_path, name: str, wall_s: float):
+        path = tmp_path / name
+        append_records(path, [record("batched-sweep", wall_s)])
+        return path
+
+    def test_synthetic_20_percent_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._ledger(tmp_path, "BENCH_20260801.json", 1.0)
+        current = self._ledger(tmp_path, "BENCH_20260806.json", 1.25)
+        code = main(
+            ["bench", "--compare-only", "--out", str(current), "--compare", str(baseline)]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_within_threshold_exits_zero(self, tmp_path):
+        baseline = self._ledger(tmp_path, "BENCH_20260801.json", 1.0)
+        current = self._ledger(tmp_path, "BENCH_20260806.json", 1.1)
+        code = main(
+            ["bench", "--compare-only", "--out", str(current), "--compare", str(baseline)]
+        )
+        assert code == 0
+
+    def test_missing_baseline_warns_and_passes(self, tmp_path, capsys):
+        current = self._ledger(tmp_path, "BENCH_20260806.json", 1.0)
+        code = main(["bench", "--compare-only", "--out", str(current), "--compare"])
+        assert code == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_auto_baseline_discovery(self, tmp_path):
+        baseline = self._ledger(tmp_path, "BENCH_20260801.json", 1.0)
+        current = self._ledger(tmp_path, "BENCH_20260806.json", 2.0)
+        assert baseline.exists()
+        code = main(["bench", "--compare-only", "--out", str(current), "--compare"])
+        assert code == 1
+
+    def test_unknown_benchmark_is_an_error(self, tmp_path):
+        code = main(["bench", "--out", str(tmp_path / "B.json"), "--benchmarks", "nope"])
+        assert code == 2
+
+    def test_cli_runs_registered_benchmarks(self, tmp_path, monkeypatch, capsys):
+        import repro.bench as bench_module
+
+        monkeypatch.setattr(
+            bench_module,
+            "BENCHMARKS",
+            {"fast": lambda: record("fast", 0.001)},
+        )
+        out = tmp_path / "BENCH_20260806.json"
+        code = main(["bench", "--out", str(out)])
+        assert code == 0
+        assert [r.name for r in load_records(out)] == ["fast"]
+        assert "appended 1 record(s)" in capsys.readouterr().out
+
+
+class TestRealBenchmarks:
+    """Tiny-parameter runs of the registered benchmarks (records, not perf)."""
+
+    def test_batched_sweep_benchmark_produces_a_record(self):
+        result = bench_batched_sweep(n_points=8, reps=1)
+        assert result.name == "batched-sweep"
+        assert result.points == 8 and result.wall_s > 0
+
+    def test_parallel_sweep_benchmark_produces_a_record(self):
+        result = bench_parallel_sweep(n_points=4, n_workers=2, reps=1)
+        assert result.name == "parallel-sweep"
+        assert result.points == 4 and result.wall_s > 0
+        assert result.meta["n_workers"] == 2
+
+    def test_run_benchmarks_validates_names(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            run_benchmarks(["nope"])

@@ -126,11 +126,92 @@ class TestProfiledSweep:
             ["fig4", "--log-level", "debug"],
             ["sweep", "--no-progress"],
             ["budget", "--profile"],
+            ["bench", "--trace", "t.json"],
         ):
             args = build_parser().parse_args(argv)
             assert hasattr(args, "profile")
             assert hasattr(args, "log_level")
             assert hasattr(args, "no_progress")
+            assert hasattr(args, "trace")
+            assert hasattr(args, "metrics_out")
+            assert hasattr(args, "events_out")
+
+    def test_trace_metrics_and_events_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        events_path = tmp_path / "events.jsonl"
+        manifest_path = tmp_path / "run.manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale", "smoke",
+                    "--no-progress",
+                    "--no-cache",
+                    "--trace", str(trace_path),
+                    "--metrics-out", str(metrics_path),
+                    "--events-out", str(events_path),
+                    "--manifest", str(manifest_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote trace" in out and "wrote metrics" in out
+
+        from tests.test_tracing import validate_chrome_trace
+
+        events = validate_chrome_trace(json.loads(trace_path.read_text()))
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        # The full hierarchy: sweep -> point -> block -> solver spans.
+        assert {"explore.total", "explore.point"} <= names
+        assert any(name.startswith("block.") for name in names)
+        assert any(name.startswith("cs.recover.") for name in names)
+
+        metrics = metrics_path.read_text()
+        assert metrics.endswith("# EOF\n")
+        assert "repro_explore_point_seconds" in metrics
+
+        streamed = [json.loads(line) for line in events_path.read_text().splitlines()]
+        assert any(e["kind"] == "explore.progress" for e in streamed)
+
+        from repro.core.telemetry import RunManifest
+
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.trace["events"] > 0
+        assert manifest.histograms["explore.point_seconds"]["count"] == 18
+        assert manifest.sweep["events_dropped"] == 0
+        assert manifest.sweep["max_events"] > 0
+
+    def test_parallel_profiled_sweep_reports_worker_lanes(self, tmp_path):
+        from repro.core.telemetry import RunManifest
+
+        trace_path = tmp_path / "run.trace.json"
+        manifest_path = tmp_path / "run.manifest.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale", "smoke",
+                    "--no-progress",
+                    "--no-cache",
+                    "--workers", "2",
+                    "--executor", "process",
+                    "--trace", str(trace_path),
+                    "--manifest", str(manifest_path),
+                ]
+            )
+            == 0
+        )
+        from tests.test_tracing import validate_chrome_trace
+
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.workers, "expected per-worker counters in the manifest"
+        assert all(label.startswith("worker-") for label in manifest.workers)
+        lanes = manifest.trace["lanes"].values()
+        assert "driver" in lanes
+        assert any(label.startswith("worker-") for label in lanes)
 
 
 class TestSweepParallelFlags:

@@ -1,0 +1,210 @@
+"""Property and stress tests of telemetry merging and Welford statistics."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.telemetry import Stats, Telemetry
+
+SETTINGS = {"max_examples": 25, "deadline": None}
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def snapshots(draw):
+    """A random TelemetrySnapshot built through the real recording hooks."""
+    tel = Telemetry()
+    for name in draw(st.lists(st.sampled_from("abc"), max_size=5)):
+        tel.count(name, draw(st.integers(-5, 5)))
+    for name in ("v1", "v2"):
+        for value in draw(st.lists(finite, max_size=15)):
+            tel.record(name, value)
+    for value in draw(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=10)
+    ):
+        tel.observe("h", value)
+    for i in range(draw(st.integers(0, 3))):
+        tel.event("e", i=i)
+    return tel.to_snapshot()
+
+
+def merged(snaps) -> Telemetry:
+    tel = Telemetry()
+    for snap in snaps:
+        tel.merge(snap)
+    return tel
+
+
+def assert_same_aggregates(left: Telemetry, right: Telemetry) -> None:
+    assert left.counters == right.counters
+    assert set(left.values) == set(right.values)
+    for name in left.values:
+        a, b = left.values[name], right.values[name]
+        assert a.count == b.count
+        assert a.total == pytest.approx(b.total)
+        assert a.min == b.min and a.max == b.max
+        assert a.m2 == pytest.approx(b.m2, rel=1e-9, abs=1e-6)
+    assert set(left.histograms) == set(right.histograms)
+    for name in left.histograms:
+        assert left.histograms[name].counts == right.histograms[name].counts
+    assert len(left.events) == len(right.events)
+
+
+class TestMergeLaws:
+    @settings(**SETTINGS)
+    @given(first=snapshots(), second=snapshots())
+    def test_merge_commutative(self, first, second):
+        assert_same_aggregates(merged([first, second]), merged([second, first]))
+
+    @settings(**SETTINGS)
+    @given(first=snapshots(), second=snapshots(), third=snapshots())
+    def test_merge_associative(self, first, second, third):
+        left = Telemetry()
+        left.merge(merged([first, second]).to_snapshot())
+        left.merge(third)
+        right = Telemetry()
+        right.merge(first)
+        right.merge(merged([second, third]).to_snapshot())
+        assert_same_aggregates(left, right)
+
+    @settings(**SETTINGS)
+    @given(snapshot=snapshots())
+    def test_merge_into_empty_is_identity(self, snapshot):
+        tel = merged([snapshot])
+        assert tel.counters == snapshot.counters
+        for name, stats in snapshot.values.items():
+            assert tel.values[name].count == stats.count
+            assert tel.values[name].total == stats.total
+
+
+class TestDrainDiscipline:
+    def test_drained_deltas_sum_to_the_full_stream(self):
+        worker = Telemetry()
+        driver = Telemetry()
+        values = np.random.default_rng(0).normal(size=30)
+        for chunk in np.split(values, 3):  # three chunk-sized deltas
+            for value in chunk:
+                worker.count("n")
+                worker.record("v", value)
+            driver.merge(worker.drain_snapshot(label="worker-1"))
+        assert driver.counters["n"] == 30
+        assert driver.values["v"].count == 30
+        assert driver.values["v"].total == pytest.approx(values.sum())
+        assert driver.values["v"].stddev == pytest.approx(values.std(ddof=1))
+        # Per-worker attribution saw every merge and the full counter sum.
+        assert driver.workers["worker-1"]["merges"] == 3
+        assert driver.workers["worker-1"]["counters"]["n"] == 30
+        # The worker is empty after draining: nothing double-counts.
+        assert not worker.counters and not worker.values
+
+    def test_merge_respects_event_bound(self):
+        worker = Telemetry()
+        for i in range(10):
+            worker.event("tick", i=i)
+        driver = Telemetry(max_events=4)
+        driver.merge(worker.to_snapshot())
+        assert len(driver.events) == 4
+        assert driver.counters["telemetry.events_dropped"] == 6
+        assert "WARNING" in driver.summary()
+        assert "max_events=4" in driver.summary()
+
+
+class TestConcurrentMerging:
+    def test_no_lost_increments_under_thread_hammer(self):
+        source = Telemetry()
+        source.count("n", 1)
+        source.record("v", 2.0)
+        snapshot = source.to_snapshot()
+        driver = Telemetry()
+
+        def hammer():
+            for _ in range(50):
+                driver.merge(snapshot)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert driver.counters["n"] == 400
+        assert driver.values["v"].count == 400
+        assert driver.values["v"].total == pytest.approx(800.0)
+
+    def test_concurrent_recording_and_merging(self):
+        driver = Telemetry()
+        source = Telemetry()
+        source.count("merged.n")
+        snapshot = source.to_snapshot()
+
+        def record():
+            for _ in range(200):
+                driver.count("direct.n")
+                driver.record("v", 1.0)
+
+        def merge():
+            for _ in range(200):
+                driver.merge(snapshot)
+
+        threads = [threading.Thread(target=fn) for fn in (record, merge, record, merge)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert driver.counters["direct.n"] == 400
+        assert driver.counters["merged.n"] == 400
+        assert driver.values["v"].count == 400
+
+
+class TestWelford:
+    def test_stddev_matches_numpy(self):
+        values = np.random.default_rng(3).normal(5.0, 2.0, size=1000)
+        stats = Stats()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.stddev == pytest.approx(values.std(ddof=1))
+
+    def test_small_counts_are_nan_and_json_safe(self):
+        import json
+        import math
+
+        stats = Stats()
+        stats.add(1.0)
+        assert math.isnan(stats.stddev)
+        payload = stats.to_dict()
+        assert payload["stddev"] is None
+        json.dumps(payload, allow_nan=False)
+
+    def test_split_merge_matches_whole_stream(self):
+        values = np.random.default_rng(4).normal(size=101)
+        whole = Stats()
+        for value in values:
+            whole.add(value)
+        left, right = Stats(), Stats()
+        for value in values[:40]:
+            left.add(value)
+        for value in values[40:]:
+            right.add(value)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        assert left.stddev == pytest.approx(whole.stddev)
+
+    def test_merge_with_empty_sides(self):
+        stats = Stats()
+        stats.add(2.0)
+        stats.merge(Stats())  # empty right side: unchanged
+        assert stats.count == 1
+        empty = Stats()
+        empty.merge(stats)  # empty left side: adopts
+        assert empty.count == 1 and empty.total == 2.0
+
+    def test_summary_shows_stddev_column(self):
+        tel = Telemetry()
+        tel.record("v", 1.0)
+        tel.record("v", 3.0)
+        assert "stddev" in tel.summary()

@@ -1,0 +1,252 @@
+"""Tests of hierarchical tracing and cross-process telemetry shipping."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.results import Evaluation
+from repro.core.telemetry import Telemetry, get_active
+from repro.core.tracing import (
+    TRACE_SNAPSHOT_VERSION,
+    Tracer,
+    chrome_trace,
+    write_chrome_trace,
+)
+
+from tests.test_parallel_explorer import ToyEvaluator, smoke_grid
+
+
+def validate_chrome_trace(payload: dict) -> list[dict]:
+    """Structural validation of Chrome-trace JSON; returns the events."""
+    assert isinstance(payload, dict)
+    events = payload["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        assert event["ph"] in {"X", "i", "M"}
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "M":
+            assert event["name"] == "process_name"
+            assert event["args"]["name"]
+        else:
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["args"]["span_id"], str)
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+            else:
+                assert event["s"] == "t"
+    json.dumps(payload)  # must be serialisable as-is
+    return events
+
+
+def spans_by_name(events: list[dict]) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for event in events:
+        if event["ph"] == "X":
+            grouped.setdefault(event["name"], []).append(event)
+    return grouped
+
+
+@dataclass(frozen=True)
+class TallyEvaluator:
+    """Picklable evaluator counting its calls into the ambient telemetry."""
+
+    def fingerprint(self) -> str:
+        return "tally"
+
+    def __call__(self, point) -> Evaluation:
+        get_active().count("tally.evals")
+        return ToyEvaluator()(point)
+
+
+class TestTracer:
+    def test_same_thread_nesting_sets_parent(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        inner = tracer.start("inner")
+        tracer.finish(inner)
+        tracer.finish(outer)
+        events = {e["name"]: e for e in tracer.snapshot()["events"]}
+        assert events["inner"]["parent"] == events["outer"]["id"]
+        assert events["outer"]["parent"] is None
+
+    def test_instant_parented_to_open_span(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.instant("mark", detail=1)
+        tracer.finish(outer)
+        events = {e["name"]: e for e in tracer.snapshot()["events"]}
+        assert events["mark"]["ph"] == "i"
+        assert events["mark"]["parent"] == events["outer"]["id"]
+        assert events["mark"]["args"] == {"detail": 1}
+
+    def test_out_of_order_finish_tolerated(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        inner = tracer.start("inner")
+        tracer.finish(outer)  # inner escapes its frame
+        tracer.finish(inner)
+        assert tracer.n_events == 2
+
+    def test_bounded_with_drop_counting(self):
+        tracer = Tracer(max_events=2)
+        for i in range(5):
+            tracer.instant("tick", i=i)
+        assert tracer.n_events == 2
+        assert tracer.dropped == 3
+
+    def test_snapshot_drain_resets(self):
+        tracer = Tracer()
+        tracer.instant("one")
+        first = tracer.snapshot(drain=True)
+        assert len(first["events"]) == 1
+        assert tracer.n_events == 0
+
+    def test_absorb_files_worker_lane(self):
+        driver = Tracer(label="driver")
+        worker = Tracer(label="worker-999")
+        worker.pid = 999  # simulate another process
+        worker._lanes = {999: "worker-999"}
+        worker.instant("w")
+        driver.absorb(worker.snapshot())
+        assert driver.lanes() == {driver.pid: "driver", 999: "worker-999"}
+        assert driver.n_events == 1
+
+    def test_absorb_rejects_unknown_version(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="version"):
+            tracer.absorb({"version": TRACE_SNAPSHOT_VERSION + 1, "events": []})
+
+    def test_absorb_respects_bound(self):
+        driver = Tracer(max_events=1)
+        other = Tracer()
+        other.instant("a")
+        other.instant("b")
+        driver.absorb(other.snapshot())
+        assert driver.n_events == 1
+        assert driver.dropped == 1
+
+    def test_summary_digest(self):
+        tracer = Tracer(label="driver")
+        tracer.instant("x")
+        digest = tracer.summary()
+        assert digest["events"] == 1
+        assert digest["dropped"] == 0
+        assert digest["lanes"] == {str(tracer.pid): "driver"}
+
+
+class TestTelemetrySpanTracing:
+    def test_spans_emit_trace_events_with_hierarchy(self):
+        tel = Telemetry(tracer=Tracer())
+        with tel.span("explore.total"):
+            with tel.span("explore.point", index=3):
+                pass
+        events = validate_chrome_trace(chrome_trace(tel.tracer.snapshot()))
+        named = spans_by_name(events)
+        point = named["explore.point"][0]
+        total = named["explore.total"][0]
+        assert point["args"]["parent_id"] == total["args"]["span_id"]
+        assert point["args"]["index"] == 3
+
+    def test_instants_require_tracer(self):
+        tel = Telemetry()
+        tel.instant("cache.hit", index=0)  # no tracer: silent no-op
+        tel = Telemetry(tracer=Tracer())
+        tel.instant("cache.hit", index=0)
+        assert tel.tracer.n_events == 1
+
+
+class TestSweepTracing:
+    def test_serial_sweep_emits_valid_hierarchical_trace(self, tmp_path):
+        tel = Telemetry(tracer=Tracer())
+        space = smoke_grid()
+        DesignSpaceExplorer(ToyEvaluator()).explore(
+            space, executor="serial", telemetry=tel
+        )
+        path = write_chrome_trace(tmp_path / "run.trace.json", tel.tracer)
+        events = validate_chrome_trace(json.loads(path.read_text()))
+        named = spans_by_name(events)
+        assert len(named["explore.total"]) == 1
+        assert len(named["explore.point"]) == space.size
+        total_id = named["explore.total"][0]["args"]["span_id"]
+        assert all(
+            e["args"]["parent_id"] == total_id for e in named["explore.point"]
+        )
+
+    def test_process_sweep_traces_per_worker_lanes(self, tmp_path):
+        tel = Telemetry(tracer=Tracer())
+        space = smoke_grid()
+        DesignSpaceExplorer(ToyEvaluator()).explore(
+            space, executor="process", n_workers=2, telemetry=tel
+        )
+        lanes = tel.tracer.lanes()
+        worker_lanes = [label for label in lanes.values() if label.startswith("worker-")]
+        assert worker_lanes, f"expected worker lanes, got {lanes}"
+        assert "driver" in lanes.values()
+
+        path = write_chrome_trace(tmp_path / "run.trace.json", tel.tracer)
+        events = validate_chrome_trace(json.loads(path.read_text()))
+        named = spans_by_name(events)
+        # Every point span was recorded in some worker process's lane.
+        assert len(named["explore.point"]) == space.size
+        driver_pid = tel.tracer.pid
+        assert all(e["pid"] != driver_pid for e in named["explore.point"])
+        assert named["explore.shard"], "worker chunks should emit shard spans"
+        # Lane metadata names every worker process.
+        metadata = {
+            e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert set(metadata) == set(lanes)
+
+    def test_cache_hits_and_restores_marked_as_instants(self, tmp_path):
+        space = smoke_grid()
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        explorer.explore(space, cache=tmp_path / "cache")
+        tel = Telemetry(tracer=Tracer())
+        explorer.explore(space, cache=tmp_path / "cache", telemetry=tel)
+        events = validate_chrome_trace(chrome_trace(tel.tracer.snapshot()))
+        hits = [e for e in events if e["ph"] == "i" and e["name"] == "cache.hit"]
+        assert len(hits) == space.size
+
+        ckpt = tmp_path / "sweep.jsonl"
+        explorer.explore(space, checkpoint=ckpt)
+        tel = Telemetry(tracer=Tracer())
+        explorer.explore(space, checkpoint=ckpt, telemetry=tel)
+        events = validate_chrome_trace(chrome_trace(tel.tracer.snapshot()))
+        restores = [
+            e for e in events if e["ph"] == "i" and e["name"] == "checkpoint.restored"
+        ]
+        assert len(restores) == space.size
+
+
+class TestCrossProcessCounters:
+    def test_driver_counters_equal_sum_of_worker_snapshots(self):
+        tel = Telemetry()
+        space = smoke_grid()
+        DesignSpaceExplorer(TallyEvaluator()).explore(
+            space, executor="process", n_workers=2, telemetry=tel
+        )
+        assert tel.counters["tally.evals"] == space.size
+        per_worker = [
+            digest["counters"].get("tally.evals", 0)
+            for digest in tel.workers.values()
+        ]
+        assert sum(per_worker) == space.size
+        assert all(label.startswith("worker-") for label in tel.workers)
+        # Worker-side point spans merged into the driver's span stats.
+        assert tel.spans["explore.point"].count == space.size
+
+    def test_crash_isolation_path_keeps_worker_accounting(self):
+        # The single-point isolation pool also ships snapshots home.
+        from tests.test_parallel_explorer import FailingEvaluator
+
+        tel = Telemetry()
+        space = smoke_grid()
+        result = DesignSpaceExplorer(FailingEvaluator(bad_bits=6)).explore(
+            space, executor="process", n_workers=2, telemetry=tel
+        )
+        assert len(result) == space.size
+        assert tel.spans["explore.point"].count == space.size
