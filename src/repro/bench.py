@@ -252,10 +252,166 @@ def bench_parallel_sweep(
     )
 
 
+def _adaptive_fig7a_setup():
+    """Evaluator + grid of the ``adaptive_fig7a`` benchmark.
+
+    A fig7a-style power-vs-SNR pathfinding problem shaped so the
+    reduction claim is meaningful: a 480-point grid dominated by
+    quality-neutral axes (``v_dd`` sweeps power without touching SNR)
+    over a small sparse-friendly multi-sine corpus -- CS reconstruction
+    of white noise is meaningless, and its SNR too unstable across
+    fidelities to steer by.
+    """
+    import numpy as np
+
+    from repro.core.explorer import FrontEndEvaluator
+    from repro.experiments.runner import FistaReconstructorFactory
+    from repro.power.technology import DesignPoint
+
+    sample_rate = 2.1 * 256
+    rng = np.random.default_rng(7)
+    t = np.arange(512) / sample_rate
+    records = np.stack(
+        [
+            sum(
+                a * np.sin(2 * np.pi * f * t + p)
+                for a, f, p in zip(
+                    rng.uniform(30e-6, 120e-6, 5),
+                    rng.uniform(2.0, 40.0, 5),
+                    rng.uniform(0, 2 * np.pi, 5),
+                )
+            )
+            for _ in range(4)
+        ]
+    )
+    evaluator = FrontEndEvaluator(
+        records,
+        None,
+        sample_rate,
+        seed=11,
+        reconstructor_factory=FistaReconstructorFactory(n_iter=60, n_phi=256),
+    )
+    noises = np.linspace(1e-6, 26e-6, 6)
+    vdds = np.linspace(0.9, 2.0, 20)
+    points = [
+        DesignPoint(n_bits=n_bits, lna_noise_rms=noise, v_dd=v_dd)
+        for n_bits in (8, 10)
+        for noise in noises
+        for v_dd in vdds
+    ] + [
+        DesignPoint(use_cs=True, cs_n_phi=256, cs_m=cs_m, lna_noise_rms=noise, v_dd=v_dd)
+        for cs_m in (64, 128)
+        for noise in noises
+        for v_dd in vdds
+    ]
+    return evaluator, points
+
+
+#: Correctness gate of the adaptive benchmark: the reduction the ROADMAP
+#: claims.  ``bench_adaptive_fig7a`` raises below this.
+ADAPTIVE_MIN_REDUCTION = 10.0
+
+
+def bench_adaptive_fig7a(reps: int = 2) -> BenchRecord:
+    """Adaptive (successive-halving) fig7a exploration vs the exhaustive sweep.
+
+    Measures the adaptive explorer's wall time on the 480-point grid and
+    **verifies its two claims before recording anything**: the per-
+    architecture Pareto fronts must equal the exhaustive sweep's exactly
+    (golden relative tolerance 1e-6), and the run must use at least
+    :data:`ADAPTIVE_MIN_REDUCTION` x fewer full-fidelity evaluations than
+    the grid size -- otherwise this raises ``RuntimeError`` and nothing
+    reaches the ledger.  The exhaustive reference sweep doubles as the
+    warm-up and is not timed.
+    """
+    import numpy as np
+
+    from repro.core.adaptive import FidelityRung, FidelitySchedule
+    from repro.core.explorer import DesignSpaceExplorer
+    from repro.core.pareto import Objective, pareto_front
+
+    evaluator, points = _adaptive_fig7a_setup()
+    explorer = DesignSpaceExplorer(evaluator)
+    objectives = (Objective("power_uw"), Objective("snr_db", maximize=True))
+    schedule = FidelitySchedule(
+        [FidelityRung("half", corpus_fraction=0.5, solver_scale=0.5), FidelityRung("full")]
+    )
+
+    def front_points(evaluations) -> dict[bool, np.ndarray]:
+        return {
+            arch: np.array(
+                sorted(
+                    (e.metrics["power_uw"], e.metrics["snr_db"])
+                    for e in pareto_front(
+                        [e for e in evaluations if e.ok and e.point.use_cs == arch],
+                        objectives,
+                    )
+                )
+            )
+            for arch in (False, True)
+        }
+
+    exhaustive = explorer.explore(points, executor="batched")
+    expected = front_points(list(exhaustive))
+
+    def run_adaptive():
+        return explorer.explore_adaptive(
+            points,
+            objectives=objectives,
+            schedule=schedule,
+            keep_frac=0.06,
+            group_by=lambda e: e.point.use_cs,
+            executor="batched",
+        )
+
+    result = run_adaptive()
+    wall_s = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = run_adaptive()
+        wall_s = min(wall_s, time.perf_counter() - start)
+
+    ledger = result.ledger
+    reduction = ledger.reduction or 0.0
+    if reduction < ADAPTIVE_MIN_REDUCTION:
+        raise RuntimeError(
+            f"adaptive_fig7a used {ledger.full_fidelity_evaluations} full-fidelity "
+            f"evaluations for {ledger.grid_size} grid points "
+            f"({reduction:.1f}x < required {ADAPTIVE_MIN_REDUCTION:.0f}x reduction)"
+        )
+    got = front_points(list(result))
+    for arch in (False, True):
+        if expected[arch].shape != got[arch].shape or not np.allclose(
+            expected[arch], got[arch], rtol=1e-6
+        ):
+            raise RuntimeError(
+                f"adaptive_fig7a front mismatch (use_cs={arch}): exhaustive "
+                f"{expected[arch].shape[0]} points vs adaptive {got[arch].shape[0]}"
+            )
+    return BenchRecord(
+        name="adaptive_fig7a",
+        wall_s=wall_s,
+        points=len(points),
+        reps=reps,
+        created_unix=time.time(),
+        meta={
+            "executor": "batched",
+            "grid_size": ledger.grid_size,
+            "full_fidelity_evaluations": ledger.full_fidelity_evaluations,
+            "low_fidelity_evaluations": ledger.low_fidelity_evaluations,
+            "reduction": reduction,
+            "keep_frac": ledger.keep_frac,
+            "rungs": len(ledger.rungs),
+            "front_points": int(sum(f.shape[0] for f in expected.values())),
+        },
+    )
+
+
 #: Registered benchmarks, in execution order.
 BENCHMARKS = {
     "batched-sweep": bench_batched_sweep,
     "parallel-sweep": bench_parallel_sweep,
+    "adaptive_fig7a": bench_adaptive_fig7a,
 }
 
 

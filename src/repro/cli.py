@@ -7,6 +7,9 @@ Gives the paper's workflow a shell entry point:
 * ``fig4`` -- run the LNA-noise demonstration sweep and print the series;
 * ``sweep`` -- run the Fig. 7 search-space exploration at a chosen scale,
   print fronts/optima, and optionally save the raw sweep as JSON/CSV;
+  ``--adaptive`` (with ``--rungs``/``--keep-frac``) switches to the
+  multi-fidelity successive-halving explorer and prints its promotion
+  ledger;
 * ``report`` -- re-analyse a saved sweep (Figs. 7-10) without
   re-simulating;
 * ``budget`` -- print the closed-form noise budget of a design point;
@@ -123,26 +126,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         analyze_fig7,
         build_run_manifest,
         render_front,
+        run_adaptive_search_space,
         run_search_space,
         search_space_for,
     )
     from repro.util.textplot import pareto_chart
 
     telemetry = get_active()
-    progress = (
-        None if args.no_progress else _progress_printer(search_space_for(args.scale).size)
-    )
-    sweep = run_search_space(
-        args.scale,
-        executor=args.executor,
-        n_workers=args.workers,
-        checkpoint=args.checkpoint,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        progress=progress,
-        telemetry=telemetry if telemetry.enabled else None,
-        timeout_s=args.timeout,
-        retries=args.retries,
-    )
+    ledger = None
+    if args.adaptive:
+        # No live progress line: each rung is its own sweep with a
+        # data-dependent total, so a single [done/total] ETA would lie.
+        sweep = run_adaptive_search_space(
+            args.scale,
+            rungs=args.rungs,
+            keep_frac=args.keep_frac,
+            executor=args.executor,
+            n_workers=args.workers,
+            checkpoint=args.checkpoint,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            telemetry=telemetry if telemetry.enabled else None,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+        ledger = sweep.ledger
+        print("adaptive exploration (successive halving):")
+        print(ledger.summary())
+        print()
+    else:
+        progress = (
+            None
+            if args.no_progress
+            else _progress_printer(search_space_for(args.scale).size)
+        )
+        sweep = run_search_space(
+            args.scale,
+            executor=args.executor,
+            n_workers=args.workers,
+            checkpoint=args.checkpoint,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            progress=progress,
+            telemetry=telemetry if telemetry.enabled else None,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
     full_sweep = sweep
     failures = sweep.failures()
     print(f"evaluated {len(sweep)} design points at scale {args.scale!r}")
@@ -185,14 +212,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             manifest_path = Path("repro-manifest.json")
         workers = args.workers
-        executor = args.executor or ("process" if (workers or 1) > 1 else "serial")
+        if args.adaptive:
+            executor = args.executor or "batched"
+        else:
+            executor = args.executor or ("process" if (workers or 1) > 1 else "serial")
         manifest = build_run_manifest(
             full_sweep,
             telemetry,
             args.scale,
             executor=executor,
             n_workers=workers,
-            command="sweep",
+            command="sweep --adaptive" if args.adaptive else "sweep",
+            adaptive=ledger.to_dict() if ledger is not None else None,
         )
         manifest.save(manifest_path)
         print(f"wrote run manifest to {manifest_path}")
@@ -383,6 +414,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--scale", default="smoke", choices=["smoke", "small", "paper"])
     sweep.add_argument("--min-accuracy", type=float, default=0.9)
+    sweep.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="multi-fidelity successive-halving exploration: cheap "
+        "low-fidelity rungs eliminate dominated points and only survivors "
+        "reach the full-fidelity evaluator (prints the promotion ledger)",
+    )
+    sweep.add_argument(
+        "--rungs",
+        type=int,
+        default=3,
+        help="fidelity rungs of the adaptive schedule (with --adaptive)",
+    )
+    sweep.add_argument(
+        "--keep-frac",
+        type=float,
+        default=1 / 3,
+        help="per-rung survivor floor as a fraction of the rung's points "
+        "(with --adaptive)",
+    )
     sweep.add_argument("--save", help="write the raw sweep as JSON")
     sweep.add_argument("--csv", help="write the sweep metrics as CSV")
     sweep.add_argument(

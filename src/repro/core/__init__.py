@@ -7,6 +7,13 @@
   paper's flow).
 """
 
+from repro.core.adaptive import (
+    AdaptiveExplorationResult,
+    FidelityRung,
+    FidelitySchedule,
+    PromotionLedger,
+    RungReport,
+)
 from repro.core.block import Block, FunctionBlock, PassthroughBlock, SimulationContext
 from repro.core.execution import (
     DEFAULT_POLICY,
@@ -26,7 +33,13 @@ from repro.core.goal import (
     snr_power_goal,
 )
 from repro.core.parameters import SWEEPABLE_FIELDS, CompositeSpace, ParameterSpace
-from repro.core.pareto import Objective, best_feasible, dominates, pareto_front
+from repro.core.pareto import (
+    Objective,
+    best_feasible,
+    dominates,
+    epsilon_nondominated,
+    pareto_front,
+)
 from repro.core.results import Evaluation, ExplorationResult
 from repro.core.serialization import (
     design_point_from_dict,
@@ -51,6 +64,7 @@ from repro.core.telemetry import (
 from repro.core.tracing import Tracer, write_chrome_trace
 
 __all__ = [
+    "AdaptiveExplorationResult",
     "Block",
     "CheckpointLockedError",
     "CompositeSpace",
@@ -62,6 +76,8 @@ __all__ = [
     "EvaluationTimeout",
     "ExecutionPolicy",
     "ExplorationResult",
+    "FidelityRung",
+    "FidelitySchedule",
     "FrontEndEvaluator",
     "FunctionBlock",
     "Goal",
@@ -77,6 +93,8 @@ __all__ = [
     "ParameterSpace",
     "PassthroughBlock",
     "PointEvaluationError",
+    "PromotionLedger",
+    "RungReport",
     "SWEEPABLE_FIELDS",
     "SimulationContext",
     "SimulationResult",
@@ -97,6 +115,7 @@ __all__ = [
     "load_result",
     "save_result",
     "dominates",
+    "epsilon_nondominated",
     "pareto_front",
     "snr_power_goal",
     "write_chrome_trace",

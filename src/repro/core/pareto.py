@@ -9,6 +9,7 @@ Fig. 10, the >= 98 % accuracy requirement of the optimal-point selection).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -27,12 +28,28 @@ class Objective:
     maximize: bool = False
 
     def better_or_equal(self, a: float, b: float) -> bool:
-        """True if value ``a`` is at least as good as ``b``."""
+        """True if value ``a`` is at least as good as ``b``.
+
+        NaN follows IEEE comparison semantics (every comparison with NaN
+        is False): a NaN value is never "at least as good" as anything,
+        and nothing is "at least as good" as it -- exactly how NaN rows
+        behave inside the vectorised :func:`pareto_front` filter.
+        """
         return a >= b if self.maximize else a <= b
 
     def strictly_better(self, a: float, b: float) -> bool:
-        """True if value ``a`` is strictly better than ``b``."""
+        """True if value ``a`` is strictly better than ``b`` (False when
+        either value is NaN, per IEEE semantics)."""
         return a > b if self.maximize else a < b
+
+
+def _all_finite(metrics: dict, objectives: Sequence[Objective]) -> bool:
+    """True when every objective value is present and finite."""
+    for obj in objectives:
+        value = metrics.get(obj.metric)
+        if value is None or not math.isfinite(value):
+            return False
+    return True
 
 
 def dominates(a: dict, b: dict, objectives: Sequence[Objective]) -> bool:
@@ -40,9 +57,23 @@ def dominates(a: dict, b: dict, objectives: Sequence[Objective]) -> bool:
 
     ``a`` dominates when it is at least as good on every objective and
     strictly better on at least one.
+
+    Non-finite objective values (NaN, +/-inf) carry the same semantics as
+    the vectorised :func:`pareto_front` filter, which treats them as
+    infeasible: a point with any non-finite objective value never
+    dominates, and is dominated by every point whose objective values are
+    all finite.  (Two non-finite points do not dominate each other.)
+    Applied pairwise over an all-finite cloud this reduces to the
+    textbook definition.
     """
     if not objectives:
         raise ValueError("need at least one objective")
+    a_finite = _all_finite(a, objectives)
+    b_finite = _all_finite(b, objectives)
+    if not a_finite:
+        return False
+    if not b_finite:
+        return True
     at_least_as_good = all(
         obj.better_or_equal(a[obj.metric], b[obj.metric]) for obj in objectives
     )
@@ -74,6 +105,9 @@ def pareto_front(
     (ascending for minimised, descending for maximised).  Items missing
     one of the objective metrics (heterogeneous sweeps, failed points)
     are treated as infeasible and excluded, like constraint violations.
+    Non-finite objective values (NaN, +/-inf) are excluded the same way:
+    NaN fails every ``<=``/``<`` comparison, so without the exclusion a
+    NaN-valued point is never dominated and always pollutes the front.
     """
     if not objectives:
         raise ValueError("need at least one objective")
@@ -81,7 +115,7 @@ def pareto_front(
     feasible = []
     for item in evaluations:
         metrics = metrics_of(item)
-        if any(name not in metrics for name in names):
+        if not _all_finite(metrics, objectives):
             continue
         if constraint is None or constraint(metrics):
             feasible.append(item)
@@ -120,14 +154,80 @@ def best_feasible(
 
     E.g. the minimum-power design meeting accuracy >= 98 %.  Returns
     ``None`` when nothing is feasible.  Items missing ``minimize_metric``
-    are infeasible by definition (heterogeneous sweeps, failed points).
+    are infeasible by definition (heterogeneous sweeps, failed points),
+    and so are NaN targets: NaN fails every comparison inside ``min``, so
+    admitting one would make the winner depend on input order.
     """
-    feasible = [
-        item
-        for item in evaluations
-        if minimize_metric in (metrics := metrics_of(item))
-        and (constraint is None or constraint(metrics))
-    ]
+    def usable(metrics: dict) -> bool:
+        target = metrics.get(minimize_metric)
+        if target is None or math.isnan(target):
+            return False
+        return constraint is None or constraint(metrics)
+
+    feasible = [item for item in evaluations if usable(metrics_of(item))]
     if not feasible:
         return None
     return min(feasible, key=lambda item: metrics_of(item)[minimize_metric])
+
+
+def epsilon_nondominated(
+    evaluations: Sequence,
+    objectives: Sequence[Objective],
+    epsilon: dict[str, float],
+    metrics_of: Callable[[object], dict] = lambda e: e.metrics,
+    constraint: Callable[[dict], bool] | None = None,
+) -> list:
+    """The epsilon-approximate Pareto set: the front plus a tolerance band.
+
+    An item is *eliminated* only when some other item beats it by more
+    than ``epsilon[metric]`` on **every** objective (and strictly more on
+    at least one) -- equivalently, an item survives when improving it by
+    ``epsilon`` on each axis would place it on the exact front.  With all
+    epsilons zero this is exactly :func:`pareto_front`; with positive
+    epsilons it additionally keeps near-front items whose metrics are
+    uncertain by up to ``epsilon`` (e.g. low-fidelity estimates in the
+    adaptive explorer).  ``epsilon`` maps metric name to an absolute
+    non-negative slack; metrics not listed get zero slack.
+
+    Feasibility rules (missing metrics, non-finite values, ``constraint``)
+    match :func:`pareto_front`; the returned items are sorted by the first
+    objective the same way.
+    """
+    if not objectives:
+        raise ValueError("need at least one objective")
+    slack = []
+    for obj in objectives:
+        value = float(epsilon.get(obj.metric, 0.0))
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"epsilon for {obj.metric!r} must be finite and >= 0, got {value}"
+            )
+        slack.append(value)
+    names = [obj.metric for obj in objectives]
+    feasible = []
+    for item in evaluations:
+        metrics = metrics_of(item)
+        if not _all_finite(metrics, objectives):
+            continue
+        if constraint is None or constraint(metrics):
+            feasible.append(item)
+    if not feasible:
+        return []
+    signs = np.array([-1.0 if obj.maximize else 1.0 for obj in objectives])
+    values = np.array(
+        [[metrics_of(item)[name] for name in names] for item in feasible], dtype=float
+    )
+    values *= signs
+    eps = np.asarray(slack, dtype=float)
+    keep = np.ones(len(feasible), dtype=bool)
+    for start in range(0, len(feasible), _PARETO_BLOCK):
+        # The standard filter applied against epsilon-improved candidates:
+        # block rows get their slack as a bonus before the comparison.
+        block = values[start : start + _PARETO_BLOCK] - eps[None, :]
+        at_least = (values[:, None, :] <= block[None, :, :]).all(axis=2)
+        strictly = (values[:, None, :] < block[None, :, :]).any(axis=2)
+        keep[start : start + block.shape[0]] = ~(at_least & strictly).any(axis=0)
+    band = [item for item, kept in zip(feasible, keep) if kept]
+    primary = objectives[0]
+    band.sort(key=lambda item: metrics_of(item)[primary.metric], reverse=primary.maximize)
+    return band

@@ -64,7 +64,9 @@ log = logging.getLogger("repro.telemetry")
 #: v3 added ``trace`` (hierarchical-trace digest), ``workers`` (per-worker
 #: counter/span totals) and ``histograms`` (fixed-bucket latency/iteration
 #: distributions with p50/p95/p99), plus stddev in every stats dict.
-MANIFEST_SCHEMA_VERSION = 3
+#: v4 added ``adaptive`` (the multi-fidelity promotion ledger: per-rung
+#: proposed/kept/promoted counts and the full-fidelity reduction factor).
+MANIFEST_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -645,6 +647,10 @@ class RunManifest:
     workers: dict = field(default_factory=dict)
     #: Fixed-bucket latency/iteration histograms (bucket counts + p50/95/99).
     histograms: dict = field(default_factory=dict)
+    #: Adaptive-exploration promotion ledger
+    #: (:meth:`repro.core.adaptive.PromotionLedger.to_dict`); empty for
+    #: exhaustive sweeps.
+    adaptive: dict = field(default_factory=dict)
     #: Completion-order progress events (done/total/elapsed/ETA).
     eta_history: list = field(default_factory=list)
     environment: dict = field(default_factory=dict)

@@ -43,6 +43,7 @@ from repro.experiments.runner import (
     default_workers,
     make_harness,
     profile_representative_point,
+    run_adaptive_search_space,
     run_search_space,
     search_space_for,
 )
@@ -106,6 +107,7 @@ __all__ = [
     "render_table2",
     "render_table3",
     "run_fig4",
+    "run_adaptive_search_space",
     "run_search_space",
     "space_summary",
     "verify_capability_evidence",

@@ -31,7 +31,9 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core.adaptive import AdaptiveExplorationResult
 from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
+from repro.core.pareto import Objective
 from repro.core.results import Evaluation, ExplorationResult
 from repro.core.telemetry import Telemetry, RunManifest, activate
 from repro.cs.dictionaries import dct_basis, wavelet_basis
@@ -368,6 +370,73 @@ def run_search_space(
     )
 
 
+#: Survivor-selection objectives of adaptive experiment runs: the Fig. 7
+#: trade-off axes.  Accuracy is deliberately included alongside SNR so the
+#: fig7b front survives promotion too.
+ADAPTIVE_OBJECTIVES = (
+    Objective("power_uw", maximize=False),
+    Objective("snr_db", maximize=True),
+    Objective("accuracy", maximize=True),
+)
+
+
+def _architecture_of(evaluation: Evaluation) -> bool:
+    """Survivor-selection grouping key: baseline vs CS (Fig. 7's curves)."""
+    return evaluation.point.use_cs
+
+
+def run_adaptive_search_space(
+    scale: str | ExperimentScale | None = None,
+    *,
+    rungs: int = 3,
+    keep_frac: float = 1 / 3,
+    executor: str | None = None,
+    n_workers: int | None = None,
+    checkpoint: str | None = None,
+    cache_dir: str | None = None,
+    progress: Callable[[int, Evaluation], None] | None = None,
+    telemetry: Telemetry | None = None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+) -> AdaptiveExplorationResult:
+    """The Fig. 7 search space explored adaptively (successive halving).
+
+    Same harness and Table III grid as :func:`run_search_space`, but only
+    rung survivors reach the full-fidelity evaluator -- see
+    :mod:`repro.core.adaptive`.  Survivor selection uses the Fig. 7
+    trade-off axes (:data:`ADAPTIVE_OBJECTIVES`) and is grouped by
+    architecture so both the baseline and the CS fronts survive promotion.
+    Not memoised: the promotion ledger is per-run state callers typically
+    want fresh (the per-scale exhaustive cache in :func:`run_search_space`
+    exists because Figs. 8-10 share one sweep).
+    """
+    if scale is None:
+        scale = active_scale()
+    name = scale if isinstance(scale, str) else scale.name
+    if n_workers is None:
+        n_workers = default_workers()
+    if executor is None:
+        executor = "batched"
+    harness = make_harness(name)
+    explorer = DesignSpaceExplorer(harness.evaluator)
+    return explorer.explore_adaptive(
+        search_space_for(harness.scale),
+        name=f"fig7-adaptive-{name}",
+        objectives=ADAPTIVE_OBJECTIVES,
+        rungs=rungs,
+        keep_frac=keep_frac,
+        group_by=_architecture_of,
+        executor=executor,
+        n_workers=n_workers,
+        checkpoint=checkpoint,
+        cache=cache_dir,
+        progress=progress,
+        telemetry=telemetry,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+
+
 def profile_representative_point(
     sweep: ExplorationResult,
     telemetry: Telemetry,
@@ -402,6 +471,7 @@ def build_run_manifest(
     n_workers: int | None = None,
     command: str = "sweep",
     max_eta_events: int = 200,
+    adaptive: dict | None = None,
 ) -> RunManifest:
     """Assemble the :class:`RunManifest` of one profiled sweep.
 
@@ -410,7 +480,9 @@ def build_run_manifest(
     *time* breakdowns, cache/checkpoint counters, per-point latency, ETA
     history).  When the telemetry holds no ``block.*`` spans -- the
     parallel-executor case -- one representative point is re-simulated
-    in-process to fill the time breakdown.
+    in-process to fill the time breakdown.  ``adaptive`` is the promotion
+    ledger dict (:meth:`~repro.core.adaptive.PromotionLedger.to_dict`) of
+    an adaptive run; exhaustive sweeps leave it empty.
     """
     if scale is None:
         scale = active_scale()
@@ -476,6 +548,7 @@ def build_run_manifest(
             ),
         },
         trace=telemetry.tracer.summary() if telemetry.tracer is not None else {},
+        adaptive=dict(adaptive) if adaptive else {},
         workers=snapshot["workers"],
         histograms=snapshot["histograms"],
         eta_history=eta_history,

@@ -90,6 +90,54 @@ class TestBestFeasible:
         assert best_feasible(evals, "power_uw").metrics["power_uw"] == 1
 
 
+class TestNonFiniteHandling:
+    """Regression tests: NaN/inf metrics must never pollute a front.
+
+    A crashed reconstruction used to report ``power_uw=NaN`` and ride
+    onto the Pareto front because every NaN comparison is False, so no
+    finite point appeared to dominate it.
+    """
+
+    nan = float("nan")
+    inf = float("inf")
+
+    def test_nan_metric_excluded_from_front(self):
+        evals = [ev(1, 0.8), ev(self.nan, 0.99), ev(2, self.nan)]
+        front = pareto_front(evals, OBJ)
+        assert len(front) == 1
+        assert front[0].metrics["power_uw"] == 1
+
+    def test_inf_metric_excluded_from_front(self):
+        evals = [ev(1, 0.8), ev(-self.inf, 0.99), ev(2, self.inf)]
+        front = pareto_front(evals, OBJ)
+        assert len(front) == 1
+        assert front[0].metrics["power_uw"] == 1
+
+    def test_all_nan_cloud_yields_empty_front(self):
+        assert pareto_front([ev(self.nan, self.nan)] * 3, OBJ) == []
+
+    def test_nan_never_dominates(self):
+        assert not dominates({"power_uw": self.nan, "accuracy": 0.99}, {"power_uw": 5, "accuracy": 0.1}, OBJ)
+
+    def test_finite_dominates_nan(self):
+        assert dominates({"power_uw": 5, "accuracy": 0.1}, {"power_uw": self.nan, "accuracy": 0.99}, OBJ)
+
+    def test_two_nan_points_do_not_dominate_each_other(self):
+        a = {"power_uw": self.nan, "accuracy": 0.9}
+        b = {"power_uw": 1.0, "accuracy": self.nan}
+        assert not dominates(a, b, OBJ)
+        assert not dominates(b, a, OBJ)
+
+    def test_best_feasible_skips_nan_target(self):
+        # The NaN candidate must lose regardless of scan order.
+        evals = [ev(self.nan, 0.9), ev(3, 0.9)]
+        assert best_feasible(evals, "power_uw").metrics["power_uw"] == 3
+        assert best_feasible(list(reversed(evals)), "power_uw").metrics["power_uw"] == 3
+
+    def test_best_feasible_all_nan_returns_none(self):
+        assert best_feasible([ev(self.nan, 0.9)], "power_uw") is None
+
+
 class TestGoals:
     def test_snr_goal_objectives(self):
         goal = snr_power_goal()
