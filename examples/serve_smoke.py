@@ -1,0 +1,108 @@
+"""Smoke-test client of the sweep service (``repro serve``).
+
+Drives one full service cycle over plain HTTP with nothing but the
+stdlib, and asserts the contract at each step:
+
+1. wait for ``/healthz``;
+2. submit a smoke-scale sweep and stream its progress events;
+3. query the Pareto front and capture the ``ETag``;
+4. revalidate with ``If-None-Match`` and require ``304 Not Modified``;
+5. resubmit the identical sweep and require it served from the store.
+
+Used as the CI service smoke test::
+
+    PYTHONPATH=src python -m repro serve --port 8731 --store .repro-store &
+    PYTHONPATH=src python examples/serve_smoke.py --port 8731
+
+Exits non-zero (assertion) on any contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def wait_healthy(base: str, timeout_s: float = 30.0) -> None:
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        try:
+            with urllib.request.urlopen(base + "/healthz", timeout=2) as response:
+                if response.status == 200:
+                    return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.25)
+    raise SystemExit(f"service at {base} not healthy within {timeout_s}s")
+
+
+def get_json(base: str, path: str, headers: dict | None = None):
+    request = urllib.request.Request(base + path, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, dict(response.headers), json.loads(response.read())
+
+
+def post_json(base: str, path: str, payload: dict):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8731)
+    parser.add_argument("--scale", default="smoke")
+    args = parser.parse_args(argv)
+    base = f"http://{args.host}:{args.port}"
+
+    wait_healthy(base)
+    print(f"service healthy at {base}")
+
+    status, submitted = post_json(base, "/v1/sweeps", {"scale": args.scale})
+    name = submitted["name"]
+    print(f"submitted sweep {name!r}: HTTP {status}, status={submitted['status']}")
+    assert status in (200, 202), status
+
+    # Stream the progress events (ND-JSON, ends with serve.stream_end).
+    progress = 0
+    with urllib.request.urlopen(base + f"/v1/sweeps/{name}/events", timeout=600) as stream:
+        for raw in stream:
+            line = raw.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("kind") == "explore.progress":
+                progress += 1
+            last = event
+    print(f"streamed {progress} progress events; final: {last['kind']}")
+    assert progress > 0, "no progress events streamed"
+    assert last["kind"] == "serve.stream_end" and last["status"] == "done", last
+
+    status, headers, front = get_json(base, f"/v1/sweeps/{name}/pareto")
+    etag = headers["ETag"]
+    print(f"pareto front: {front['total']} point(s), ETag {etag[:18]}..")
+    assert status == 200 and front["total"] > 0
+
+    try:
+        get_json(base, f"/v1/sweeps/{name}/pareto", headers={"If-None-Match": etag})
+        raise SystemExit("revalidation returned 200; expected 304")
+    except urllib.error.HTTPError as error:
+        assert error.code == 304, error.code
+        print("revalidation: 304 Not Modified")
+
+    status, resubmitted = post_json(base, "/v1/sweeps", {"scale": args.scale})
+    print(f"resubmit: HTTP {status}, from_store={resubmitted['from_store']}")
+    assert status == 200 and resubmitted["from_store"] is True, resubmitted
+
+    print("service smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,16 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pipe closed early (e.g. ``repro store get NAME | head``).
+    # Flushing the already-broken stdout at interpreter exit would raise
+    # again, so detach it and exit with the conventional SIGPIPE code.
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, sys.stdout.fileno())
+    sys.exit(128 + 13)

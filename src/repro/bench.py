@@ -27,6 +27,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.util.fsio import FileLock, atomic_write_text
+
 #: Version stamp of the benchmark-record JSON schema.
 BENCH_SCHEMA_VERSION = 1
 
@@ -93,15 +95,25 @@ def load_records(path: str | Path) -> list[BenchRecord]:
 
 
 def append_records(path: str | Path, records: list[BenchRecord]) -> Path:
-    """Append ``records`` to the ledger at ``path`` (created if missing)."""
+    """Append ``records`` to the ledger at ``path`` (created if missing).
+
+    The append is a read-modify-write cycle, so it is serialised under an
+    advisory sidecar lock (two concurrent CI bench jobs pointed at one
+    ledger queue instead of losing each other's records) and the rewrite
+    is atomic (temp file + ``os.replace``): a reader -- or a crash
+    mid-write -- never observes a torn ledger.
+    """
     path = Path(path)
-    existing = load_records(path) if path.exists() else []
-    payload = {
-        "schema": BENCH_SCHEMA_VERSION,
-        "records": [record.to_dict() for record in existing + records],
-    }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    with FileLock(path):
+        existing = load_records(path) if path.exists() else []
+        payload = {
+            "schema": BENCH_SCHEMA_VERSION,
+            "records": [record.to_dict() for record in existing + records],
+        }
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n", fsync=True
+        )
     return path
 
 

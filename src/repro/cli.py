@@ -320,7 +320,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     out = Path(args.out) if args.out else default_ledger_path()
     if args.compare_only:
-        current = load_records(out) if out.exists() else []
+        if not out.exists():
+            # A missing ledger used to compare an empty record list --
+            # every benchmark "not run", exit 0 -- silently masking a
+            # misconfigured CI gate.  Fail loudly instead.
+            print(
+                f"error: --compare-only needs an existing ledger at {out} "
+                "(no benchmarks were run; pass --out to point at the ledger "
+                "to compare)",
+                file=sys.stderr,
+            )
+            return 2
+        current = load_records(out)
     else:
         try:
             records = run_benchmarks(args.benchmarks)
@@ -355,6 +366,68 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\ncomparing against {baseline_path}:")
     print(render_comparison(rows, args.threshold))
     return 1 if any(row["regressed"] for row in rows) else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.telemetry import get_active
+    from repro.serve import SweepService, serve_forever
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store)
+    service = SweepService(store, telemetry=get_active())
+    print(f"serving sweeps from {store.root} on http://{args.host}:{args.port}")
+    try:
+        asyncio.run(serve_forever(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import ResultStore, StoreError
+
+    store = ResultStore(args.store)
+    if args.action == "ls":
+        index = store.index()
+        sweeps = index.get("sweeps", {})
+        if not sweeps:
+            print(f"no sweeps stored in {store.root}")
+            return 0
+        print(f"{'name':24} {'digest':14} {'n':>5} {'fail':>5}  created")
+        for name in sorted(sweeps):
+            row = sweeps[name]
+            created = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(row.get("created_unix", 0))
+            )
+            print(
+                f"{name:24} {row['digest'][:12] + '..':14} "
+                f"{row['n_evaluations']:5d} {row['n_failures']:5d}  {created}"
+            )
+        return 0
+    if args.action == "get":
+        try:
+            manifest = store.get_sweep(args.name)
+        except (StoreError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if manifest is None:
+            print(
+                f"error: no sweep named {args.name!r} in {store.root} "
+                f"(known: {store.sweep_names()})",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(manifest.to_dict(), indent=1))
+        return 0
+    if args.action == "gc":
+        removed = store.gc()
+        print(f"removed {len(removed)} unreferenced evaluation blob(s)")
+        return 0
+    raise AssertionError(f"unhandled store action {args.action!r}")  # pragma: no cover
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -582,6 +655,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative wall-time growth that counts as a regression (0.20 = 20%%)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep-as-a-service HTTP API over a result store",
+        parents=[common],
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8731, help="bind port")
+    serve.add_argument(
+        "--store",
+        default=".repro-store",
+        help="result store root (evaluation blobs + sweep manifests + index)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain the content-addressed result store",
+        parents=[common],
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+    store_common = argparse.ArgumentParser(add_help=False)
+    store_common.add_argument(
+        "--store", default=".repro-store", help="result store root"
+    )
+    store_sub.add_parser(
+        "ls", help="list stored sweeps (name, digest, counts)", parents=[store_common]
+    )
+    store_get = store_sub.add_parser(
+        "get", help="print one sweep manifest as JSON", parents=[store_common]
+    )
+    store_get.add_argument("name", help="sweep name")
+    store_sub.add_parser(
+        "gc",
+        help="remove evaluation blobs not referenced by any stored sweep",
+        parents=[store_common],
+    )
+    store.set_defaults(func=_cmd_store)
     return parser
 
 

@@ -23,6 +23,9 @@ from repro.core.execution import (
     ExecutionPolicy,
     PointEvaluationError,
     SweepCheckpoint,
+    evaluation_key,
+    evaluator_fingerprint,
+    point_digest,
 )
 from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
 from repro.core.goal import (
@@ -112,6 +115,9 @@ __all__ = [
     "best_feasible",
     "design_point_from_dict",
     "design_point_to_dict",
+    "evaluation_key",
+    "evaluator_fingerprint",
+    "point_digest",
     "load_result",
     "save_result",
     "dominates",

@@ -251,6 +251,29 @@ def evaluate_one_timed(
     return evaluation, time.perf_counter() - start, stats
 
 
+def point_digest(point: DesignPoint) -> str:
+    """SHA-256 content digest of one design point (its description).
+
+    ``DesignPoint.describe()`` is the point's canonical identity string
+    (seeds, cache keys and checkpoint matching all key on it already);
+    hashing it gives a fixed-width address usable in filenames and URLs.
+    """
+    return hashlib.sha256(point.describe().encode()).hexdigest()
+
+
+def evaluation_key(fingerprint: str, point: DesignPoint) -> str:
+    """Content address of one ``(evaluator, point)`` evaluation.
+
+    The SHA-256 of the evaluator fingerprint and the point description --
+    the key :class:`EvaluationCache` has always filed entries under, now
+    exposed so the content-addressed result store (:mod:`repro.store`)
+    and the serving layer address the *same* artefacts: a sweep manifest
+    can reference cache entries directly, and a store lookup never
+    re-evaluates what the cache already holds.
+    """
+    return hashlib.sha256(f"{fingerprint}\n{point.describe()}".encode()).hexdigest()
+
+
 def evaluator_fingerprint(evaluator: object) -> str:
     """Cache identity of an evaluator.
 
@@ -446,10 +469,7 @@ class EvaluationCache:
         self.corrupt = 0
 
     def _path(self, fingerprint: str, point: DesignPoint) -> Path:
-        key = hashlib.sha256(
-            f"{fingerprint}\n{point.describe()}".encode()
-        ).hexdigest()
-        return self.directory / f"{key}.json"
+        return self.directory / f"{evaluation_key(fingerprint, point)}.json"
 
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside (best effort) and count it."""

@@ -150,17 +150,33 @@ class ExplorationResult:
         return "\n".join(lines)
 
     def to_dicts(self) -> list[dict]:
-        """Plain-dict export (point description + metrics) for serialisation."""
-        return [
-            {"point": e.point.describe(), **e.metrics} for e in self._evaluations
-        ]
+        """Plain-dict export (point description, metrics, error, breakdown).
+
+        Aligned with :func:`~repro.core.serialization.evaluation_to_dict`:
+        ``error`` is present exactly when the evaluation failed, and
+        ``breakdown`` when the per-block power dict is non-empty -- so a
+        failed point exports as a visibly failed row instead of a bare
+        ``{"point": ...}`` indistinguishable from a metric-less success.
+        """
+        rows = []
+        for e in self._evaluations:
+            row: dict = {"point": e.point.describe(), **e.metrics}
+            if e.breakdown:
+                row["breakdown"] = dict(e.breakdown)
+            if e.error is not None:
+                row["error"] = e.error
+            rows.append(row)
+        return rows
 
     def to_csv(self, path: str, metrics: Sequence[str] | None = None) -> None:
         """Write the sweep as CSV (point description + selected metrics).
 
         ``metrics=None`` exports the union of all metric names, sorted.
         NaN metric values (error rows) export as empty fields, the same
-        convention as metrics a row does not carry.
+        convention as metrics a row does not carry.  When any evaluation
+        failed, a trailing ``error`` column carries the failure message
+        (empty for successful rows), matching :meth:`to_dicts` -- an
+        all-success sweep keeps the historical header.
         """
         import csv
 
@@ -169,6 +185,7 @@ class ExplorationResult:
             for evaluation in self._evaluations:
                 names.update(evaluation.metrics)
             metrics = sorted(names)
+        include_error = any(e.error is not None for e in self._evaluations)
 
         def cell(evaluation: Evaluation, name: str):
             value = evaluation.metrics.get(name, "")
@@ -178,11 +195,12 @@ class ExplorationResult:
 
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(["point", *metrics])
+            writer.writerow(["point", *metrics] + (["error"] if include_error else []))
             for evaluation in self._evaluations:
-                writer.writerow(
-                    [
-                        evaluation.point.describe(),
-                        *(cell(evaluation, name) for name in metrics),
-                    ]
-                )
+                row = [
+                    evaluation.point.describe(),
+                    *(cell(evaluation, name) for name in metrics),
+                ]
+                if include_error:
+                    row.append(evaluation.error or "")
+                writer.writerow(row)

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.core.results import Evaluation, ExplorationResult
 from repro.power.technology import DesignPoint, Technology
+from repro.util.fsio import atomic_write_text
 
 #: Format marker written into every file (future-proofing).
 FORMAT_VERSION = 1
@@ -57,13 +58,20 @@ def evaluation_from_dict(payload: dict) -> Evaluation:
 
 
 def save_result(result: ExplorationResult, path: str | Path) -> None:
-    """Write an exploration result as JSON."""
+    """Write an exploration result as JSON (atomic replace).
+
+    The file is staged in the destination directory and moved over the
+    target with ``os.replace``: a crash mid-write -- the exact moment an
+    hours-long sweep is being persisted -- leaves any previous file
+    intact instead of truncating it, honouring this module's durability
+    promise.
+    """
     payload = {
         "format_version": FORMAT_VERSION,
         "name": result.name,
         "evaluations": [evaluation_to_dict(e) for e in result],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1), fsync=True)
 
 
 def load_result(path: str | Path) -> ExplorationResult:

@@ -1,0 +1,834 @@
+"""Sweep-as-a-service: an asyncio HTTP/JSON API over the result store.
+
+The pathfinding engine is evaluation-bound; its readers are not.  This
+module puts a thin, stdlib-only HTTP layer between the two so millions
+of read-mostly clients hit the content-addressed store
+(:mod:`repro.store`) instead of the simulator:
+
+* ``POST /v1/sweeps`` submits a sweep.  The request resolves to an
+  evaluator + design-point grid (by experiment scale through
+  :mod:`repro.experiments.runner`, or through an injected resolver), and
+  runs via :class:`~repro.core.explorer.DesignSpaceExplorer` on a worker
+  thread, composing the existing machinery: the store's blob directory
+  *is* the evaluation cache, per-sweep telemetry streams structured
+  events to a JSONL sink, and the finished result is persisted as a
+  named, digest-stamped sweep.  A re-submitted sweep whose content is
+  already stored completes instantly from the store -- no evaluator
+  call, no worker thread.
+* ``GET /v1/sweeps/<name>/events`` streams progress as newline-delimited
+  JSON by tailing the sweep's JSONL event sink (the PR-5
+  ``explore.progress`` events) until the run completes.
+* ``GET /v1/sweeps/<name>`` (manifest), ``/evaluations`` (raw rows,
+  paginated), ``/pareto`` (non-dominated front under caller-chosen
+  objectives) and ``/breakdown`` (per-block power) serve query views.
+  Every view of a finished sweep carries an ``ETag`` equal to the
+  sweep's content digest; a conditional request with a matching
+  ``If-None-Match`` is answered ``304 Not Modified`` with no store read
+  beyond the manifest -- the revalidation path costs nothing and keeps
+  repeat readers entirely off the simulator.
+
+The HTTP layer is deliberately minimal (``asyncio.start_server`` plus a
+hand-rolled HTTP/1.1 request parser): no third-party dependency, no
+framework, every byte under test.  It is not a general-purpose web
+server -- it serves JSON to cooperating clients and rejects everything
+else with 4xx.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from collections.abc import AsyncIterator, Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.execution import evaluation_key, evaluator_fingerprint
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.metrics import JsonlEventWriter
+from repro.core.pareto import Objective, pareto_front
+from repro.core.telemetry import Telemetry, get_active
+from repro.store import ResultStore, SweepManifest, check_sweep_name
+from repro.power.technology import DesignPoint
+
+log = logging.getLogger("repro.serve")
+
+#: Largest accepted request body (sweep submissions are tiny JSON).
+MAX_BODY_BYTES = 1 << 20
+
+#: Pagination defaults/bounds shared by every collection view.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+#: Poll interval of the progress tail (seconds).
+EVENT_POLL_S = 0.05
+
+
+class SubmissionError(ValueError):
+    """A sweep submission payload is invalid (HTTP 400)."""
+
+
+def default_resolver(payload: dict):
+    """Resolve a submission payload against the experiment harness.
+
+    Accepts ``{"scale": "smoke"|"small"|"paper", "name"?: str,
+    "executor"?: str, "workers"?: int}`` and returns
+    ``(name, evaluator, points, explore_kwargs)``.  Tests and embedders
+    inject their own resolver with the same signature to serve custom
+    evaluators.
+    """
+    from repro.core.execution import EXECUTORS
+    from repro.experiments.runner import SCALES, make_harness, search_space_for
+
+    if not isinstance(payload, dict):
+        raise SubmissionError("submission body must be a JSON object")
+    scale = payload.get("scale")
+    if scale not in SCALES:
+        raise SubmissionError(
+            f"unknown scale {scale!r}; choose one of {sorted(SCALES)}"
+        )
+    executor = payload.get("executor", "serial")
+    if executor not in EXECUTORS:
+        raise SubmissionError(
+            f"unknown executor {executor!r}; choose one of {EXECUTORS}"
+        )
+    workers = payload.get("workers")
+    if workers is not None and (not isinstance(workers, int) or workers < 1):
+        raise SubmissionError(f"workers must be a positive integer, got {workers!r}")
+    name = payload.get("name") or f"fig7-{scale}"
+    harness = make_harness(scale)
+    points = list(search_space_for(scale).grid(None))
+    return name, harness.evaluator, points, {"executor": executor, "n_workers": workers}
+
+
+@dataclass
+class SweepJob:
+    """In-memory state of one submitted sweep."""
+
+    name: str
+    status: str = "running"  # running | done | failed
+    error: str | None = None
+    digest: str | None = None
+    from_store: bool = False
+    submitted_unix: float = field(default_factory=time.time)
+    events_path: Path | None = None
+    thread: threading.Thread | None = None
+
+    def view(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "error": self.error,
+            "digest": self.digest,
+            "from_store": self.from_store,
+            "submitted_unix": self.submitted_unix,
+        }
+
+
+class SweepService:
+    """Submission/query engine behind the HTTP API (transport-agnostic).
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.store.ResultStore` sweeps are persisted to and
+        served from.
+    resolver:
+        ``f(payload) -> (name, evaluator, points, explore_kwargs)``;
+        default resolves experiment scales
+        (:func:`default_resolver`).  Raise :class:`SubmissionError` for
+        invalid payloads.
+    telemetry:
+        Service-level sink for ``serve.*`` counters and the merged
+        per-sweep exploration telemetry.  Defaults to the ambient sink.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        resolver: Callable | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.store = store
+        self.resolver = resolver or default_resolver
+        self.telemetry = telemetry if telemetry is not None else get_active()
+        self.events_dir = store.root / "events"
+        self.jobs: dict[str, SweepJob] = {}
+        self._lock = threading.Lock()
+
+    # --- submission -----------------------------------------------------------
+
+    def submit(self, payload: dict) -> tuple[SweepJob, bool]:
+        """Submit one sweep; returns ``(job, accepted)``.
+
+        ``accepted`` is ``False`` when an identically named sweep is
+        already running (the existing job is returned instead of racing
+        a duplicate).  A submission whose content-addressed entries are
+        already stored completes synchronously from the store.
+        """
+        name, evaluator, points, explore_kwargs = self.resolver(payload)
+        check_sweep_name(name)
+        if not points:
+            raise SubmissionError("submission resolved to an empty design grid")
+        fingerprint = evaluator_fingerprint(evaluator)
+        with self._lock:
+            existing = self.jobs.get(name)
+            if existing is not None and existing.status == "running":
+                return existing, False
+            job = SweepJob(name=name, events_path=self.events_dir / f"{name}.jsonl")
+            self.jobs[name] = job
+
+        expected = [evaluation_key(fingerprint, point) for point in points]
+        manifest = self.store.get_sweep(name)
+        if (
+            manifest is not None
+            and manifest.fingerprint == fingerprint
+            and manifest.keys == expected
+            and manifest.n_failures == 0
+        ):
+            # Identical content already stored: served entirely from the
+            # content-addressed store, no evaluator call at all.
+            job.status = "done"
+            job.digest = manifest.digest
+            job.from_store = True
+            self.telemetry.count("serve.store_hits")
+            return job, True
+
+        self.telemetry.count("serve.submitted")
+        job.events_path.unlink(missing_ok=True)
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(job, evaluator, points, fingerprint, explore_kwargs),
+            name=f"repro-serve-{name}",
+            daemon=True,
+        )
+        job.thread = thread
+        thread.start()
+        return job, True
+
+    def _run_job(
+        self,
+        job: SweepJob,
+        evaluator,
+        points: list[DesignPoint],
+        fingerprint: str,
+        explore_kwargs: dict,
+    ) -> None:
+        """Worker-thread body: run the sweep, persist it, settle the job."""
+        sink = JsonlEventWriter(job.events_path)
+        tel = Telemetry(logger=log, event_sink=sink)
+        try:
+            result = DesignSpaceExplorer(evaluator).explore(
+                points,
+                name=job.name,
+                cache=self.store.cache,
+                telemetry=tel,
+                **explore_kwargs,
+            )
+            manifest = self.store.put_sweep(
+                job.name,
+                fingerprint,
+                result,
+                meta={"submitted_unix": job.submitted_unix, **explore_kwargs_meta(explore_kwargs)},
+            )
+            job.digest = manifest.digest
+            job.status = "done"
+            tel.event("serve.sweep_done", name=job.name, status="done",
+                      digest=manifest.digest, n=manifest.n_evaluations)
+            self.telemetry.count("serve.sweeps_completed")
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            job.error = f"{type(error).__name__}: {error}"
+            job.status = "failed"
+            tel.event("serve.sweep_done", name=job.name, status="failed", error=job.error)
+            self.telemetry.count("serve.sweeps_failed")
+            log.warning("sweep %s failed: %s", job.name, job.error, exc_info=True)
+        finally:
+            # Fold the sweep's exploration telemetry (cache hit/miss
+            # counters, point latencies) into the service sink so the
+            # service's counters tell the whole story.
+            if self.telemetry.enabled:
+                self.telemetry.merge(tel.drain_snapshot(label=f"sweep-{job.name}"))
+            sink.close()
+
+    # --- queries --------------------------------------------------------------
+
+    def job_or_stored(self, name: str) -> tuple[SweepJob | None, SweepManifest | None]:
+        """Live job and/or stored manifest for ``name`` (either may be None)."""
+        job = self.jobs.get(name)
+        manifest = self.store.get_sweep(name)
+        return job, manifest
+
+    def manifest_view(self, name: str) -> dict | None:
+        """The status/manifest view of one sweep, or ``None`` if unknown."""
+        job, manifest = self.job_or_stored(name)
+        if job is None and manifest is None:
+            return None
+        view: dict = {"name": name}
+        if manifest is not None:
+            view.update(manifest.summary_dict())
+            view["status"] = "done"
+        if job is not None:
+            view.update(job.view())
+            if job.status == "done" and manifest is not None:
+                view["status"] = "done"
+        return view
+
+    def sweep_digest(self, name: str) -> str | None:
+        """Content digest of a *finished* sweep (the ETag), else ``None``."""
+        job, manifest = self.job_or_stored(name)
+        if job is not None and job.status == "running":
+            return None
+        if manifest is not None:
+            return manifest.digest
+        return None
+
+
+def explore_kwargs_meta(explore_kwargs: dict) -> dict:
+    """The JSON-safe subset of explore kwargs recorded in sweep meta."""
+    return {
+        key: value
+        for key, value in explore_kwargs.items()
+        if isinstance(value, (str, int, float, bool)) and key != "telemetry"
+    }
+
+
+# --- minimal HTTP layer -------------------------------------------------------
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        try:
+            return json.loads(self.body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}") from error
+
+
+@dataclass
+class Response:
+    status: int
+    payload: dict | list | None = None
+    headers: dict[str, str] = field(default_factory=dict)
+    stream: AsyncIterator[str] | None = None
+
+
+class HttpError(Exception):
+    """Maps to an error response: ``raise HttpError(404, "...")``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 304: "Not Modified", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def etag_of(digest: str) -> str:
+    return f'"{digest}"'
+
+
+def if_none_match_hits(header: str | None, etag: str) -> bool:
+    """RFC 7232 ``If-None-Match`` check (weak comparison, ``*`` wildcard)."""
+    if header is None:
+        return False
+    header = header.strip()
+    if header == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+def parse_page(query: dict[str, list[str]], total: int) -> tuple[int, int]:
+    """Validated ``(offset, limit)`` pagination bounds (400 on nonsense)."""
+    def one_int(name: str, default: int) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise HttpError(400, f"{name} must be an integer, got {values[-1]!r}") from None
+
+    offset = one_int("offset", 0)
+    limit = one_int("limit", DEFAULT_PAGE_LIMIT)
+    if offset < 0:
+        raise HttpError(400, f"offset must be >= 0, got {offset}")
+    if not 1 <= limit <= MAX_PAGE_LIMIT:
+        raise HttpError(400, f"limit must be in [1, {MAX_PAGE_LIMIT}], got {limit}")
+    del total  # bounds are absolute, not clamped to the collection
+    return offset, limit
+
+
+class SweepApi:
+    """Routes HTTP requests onto a :class:`SweepService`."""
+
+    def __init__(self, service: SweepService):
+        self.service = service
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self.service.telemetry
+
+    async def dispatch(self, request: Request) -> Response:
+        self.telemetry.count("serve.requests")
+        parts = [unquote(p) for p in request.path.strip("/").split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                return self._method(request, "GET", lambda: Response(200, {"ok": True}))
+            if parts == ["v1", "sweeps"]:
+                if request.method == "GET":
+                    return self._list_sweeps()
+                if request.method == "POST":
+                    return self._submit(request)
+                raise HttpError(405, f"{request.method} not allowed here")
+            if len(parts) in (3, 4) and parts[:2] == ["v1", "sweeps"]:
+                name = parts[2]
+                view = parts[3] if len(parts) == 4 else "manifest"
+                if view == "events":
+                    return self._method(request, "GET", lambda: self._events(name))
+                handler = {
+                    "manifest": self._manifest,
+                    "evaluations": self._evaluations,
+                    "pareto": self._pareto,
+                    "breakdown": self._breakdown,
+                }.get(view)
+                if handler is None:
+                    raise HttpError(404, f"unknown sweep view {view!r}")
+                return self._method(request, "GET", lambda: handler(name, request))
+            raise HttpError(404, f"no route for {request.path!r}")
+        except HttpError as error:
+            if error.status >= 500:  # pragma: no cover - no 5xx HttpErrors today
+                self.telemetry.count("serve.errors")
+            return Response(error.status, {"error": error.message})
+        except Exception as error:  # noqa: BLE001 - the server must answer
+            self.telemetry.count("serve.errors")
+            log.exception("unhandled error serving %s %s", request.method, request.path)
+            return Response(500, {"error": f"{type(error).__name__}: {error}"})
+
+    @staticmethod
+    def _method(request: Request, allowed: str, handler: Callable[[], Response]) -> Response:
+        if request.method != allowed:
+            raise HttpError(405, f"{request.method} not allowed here (use {allowed})")
+        return handler()
+
+    # --- handlers -------------------------------------------------------------
+
+    def _list_sweeps(self) -> Response:
+        index = self.service.store.index()
+        running = [
+            job.view()
+            for job in self.service.jobs.values()
+            if job.status == "running"
+        ]
+        return Response(200, {"sweeps": index.get("sweeps", {}), "running": running})
+
+    def _submit(self, request: Request) -> Response:
+        if len(request.body) > MAX_BODY_BYTES:
+            raise HttpError(413, "submission body too large")
+        try:
+            job, accepted = self.service.submit(request.json())
+        except (SubmissionError, ValueError) as error:
+            raise HttpError(400, str(error)) from None
+        view = job.view()
+        view["already_running"] = not accepted
+        status = 200 if job.status == "done" else 202
+        return Response(status, view)
+
+    def _conditional(
+        self, name: str, request: Request, build: Callable[[SweepManifest], dict]
+    ) -> Response:
+        """Shared ETag/304 wrapper of the finished-sweep query views."""
+        job, manifest = self.service.job_or_stored(name)
+        if job is None and manifest is None:
+            raise HttpError(404, f"no sweep named {name!r}")
+        if manifest is None:
+            # Known job but nothing stored yet: still running or failed.
+            assert job is not None
+            if job.status == "failed":
+                return Response(200, job.view())
+            raise HttpError(404, f"sweep {name!r} is still running; no results yet")
+        etag = etag_of(manifest.digest)
+        if if_none_match_hits(request.headers.get("if-none-match"), etag):
+            self.telemetry.count("serve.not_modified")
+            return Response(304, None, headers={"ETag": etag})
+        payload = build(manifest)
+        return Response(200, payload, headers={"ETag": etag})
+
+    def _manifest(self, name: str, request: Request) -> Response:
+        view = self.service.manifest_view(name)
+        if view is None:
+            raise HttpError(404, f"no sweep named {name!r}")
+        digest = self.service.sweep_digest(name)
+        if digest is None:
+            return Response(200, view)
+        etag = etag_of(digest)
+        if if_none_match_hits(request.headers.get("if-none-match"), etag):
+            self.telemetry.count("serve.not_modified")
+            return Response(304, None, headers={"ETag": etag})
+        return Response(200, view, headers={"ETag": etag})
+
+    def _evaluations(self, name: str, request: Request) -> Response:
+        def build(manifest: SweepManifest) -> dict:
+            from repro.core.serialization import evaluation_to_dict
+
+            offset, limit = parse_page(request.query, manifest.n_evaluations)
+            result = self.service.store.load_result(name)
+            rows = [
+                evaluation_to_dict(evaluation)
+                for evaluation in list(result)[offset : offset + limit]
+            ]
+            return {
+                "name": name,
+                "total": len(result),
+                "offset": offset,
+                "limit": limit,
+                "evaluations": rows,
+            }
+
+        return self._conditional(name, request, build)
+
+    def _pareto(self, name: str, request: Request) -> Response:
+        def build(manifest: SweepManifest) -> dict:
+            objectives = self._objectives(request.query)
+            result = self.service.store.load_result(name)
+            front = pareto_front(
+                [e for e in result if e.ok], objectives
+            )
+            offset, limit = parse_page(request.query, len(front))
+            rows = ExplorationRows(front[offset : offset + limit])
+            return {
+                "name": name,
+                "objectives": [
+                    {"metric": o.metric, "maximize": o.maximize} for o in objectives
+                ],
+                "total": len(front),
+                "offset": offset,
+                "limit": limit,
+                "front": rows.to_dicts(),
+            }
+
+        return self._conditional(name, request, build)
+
+    def _breakdown(self, name: str, request: Request) -> Response:
+        def build(manifest: SweepManifest) -> dict:
+            result = self.service.store.load_result(name)
+            evaluations = list(result)
+            offset, limit = parse_page(request.query, len(evaluations))
+            rows = [
+                {
+                    "point": e.point.describe(),
+                    "power_uw": e.metrics.get("power_uw"),
+                    "breakdown": dict(e.breakdown),
+                }
+                for e in evaluations[offset : offset + limit]
+                if e.ok
+            ]
+            return {
+                "name": name,
+                "total": len(evaluations),
+                "offset": offset,
+                "limit": limit,
+                "breakdown": rows,
+            }
+
+        return self._conditional(name, request, build)
+
+    @staticmethod
+    def _objectives(query: dict[str, list[str]]) -> tuple[Objective, ...]:
+        """Objectives from ``minimize``/``maximize`` params (comma-splittable)."""
+        def names(param: str) -> list[str]:
+            collected: list[str] = []
+            for value in query.get(param, []):
+                collected.extend(n.strip() for n in value.split(",") if n.strip())
+            return collected
+
+        minimize, maximize = names("minimize"), names("maximize")
+        if not minimize and not maximize:
+            minimize, maximize = ["power_uw"], ["snr_db"]
+        return tuple(
+            [Objective(n, maximize=False) for n in minimize]
+            + [Objective(n, maximize=True) for n in maximize]
+        )
+
+    def _events(self, name: str) -> Response:
+        job, manifest = self.service.job_or_stored(name)
+        if job is None and manifest is None:
+            raise HttpError(404, f"no sweep named {name!r}")
+        return Response(
+            200,
+            None,
+            headers={"Content-Type": "application/x-ndjson"},
+            stream=self._tail_events(name, job),
+        )
+
+    async def _tail_events(self, name: str, job: SweepJob | None) -> AsyncIterator[str]:
+        """Tail the sweep's JSONL event sink until the job settles.
+
+        Replays everything already written, then follows appends while
+        the job is running; ends with one ``serve.stream_end`` line so
+        clients need no out-of-band completion signal.
+        """
+        path = (
+            job.events_path
+            if job is not None and job.events_path is not None
+            else self.service.events_dir / f"{name}.jsonl"
+        )
+        position = 0
+        buffered = ""
+        while True:
+            running = job is not None and job.status == "running"
+            try:
+                with open(path, "r") as handle:
+                    handle.seek(position)
+                    chunk = handle.read()
+                    position = handle.tell()
+            except OSError:
+                chunk = ""
+            if chunk:
+                buffered += chunk
+                *lines, buffered = buffered.split("\n")
+                for line in lines:
+                    if line.strip():
+                        yield line + "\n"
+            if not running:
+                break
+            await asyncio.sleep(EVENT_POLL_S)
+        if buffered.strip():
+            yield buffered + "\n"
+        status = job.status if job is not None else "done"
+        yield json.dumps({"kind": "serve.stream_end", "name": name, "status": status}) + "\n"
+
+
+# --- connection handling ------------------------------------------------------
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):  # oversized request line
+        raise HttpError(400, "malformed request line") from None
+    if not line:
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(400, "malformed header block") from None
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = raw.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise HttpError(400, "too many headers")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body larger than {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, headers: dict[str, str]) -> bytes:
+    reason = _REASONS.get(status, "OK")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{k}: {v}" for k, v in headers.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> bool:
+    """Send ``response``; returns whether the connection stays open."""
+    headers = {"Server": "repro-serve", **response.headers}
+    if response.stream is not None:
+        headers.setdefault("Content-Type", "application/x-ndjson")
+        headers["Transfer-Encoding"] = "chunked"
+        headers["Connection"] = "close"
+        writer.write(_head(response.status, headers))
+        await writer.drain()
+        async for text in response.stream:
+            data = text.encode()
+            writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return False
+    if response.status == 304 or response.payload is None and response.status != 200:
+        body = b""
+    else:
+        body = (json.dumps(response.payload, indent=1) + "\n").encode()
+    if response.status != 304:
+        headers.setdefault("Content-Type", "application/json")
+    headers["Content-Length"] = str(len(body))
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    writer.write(_head(response.status, headers) + body)
+    await writer.drain()
+    return keep_alive
+
+
+async def handle_connection(
+    api: SweepApi, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one client connection (sequential keep-alive requests)."""
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except HttpError as error:
+                await _write_response(
+                    writer, Response(error.status, {"error": error.message}), False
+                )
+                break
+            except asyncio.IncompleteReadError:
+                break
+            if request is None:
+                break
+            keep_alive = request.headers.get("connection", "keep-alive") != "close"
+            response = await api.dispatch(request)
+            if not await _write_response(writer, response, keep_alive):
+                break
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass  # peer vanished or server shutting down mid-close
+
+
+async def start_server(
+    service: SweepService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Bind the API server; returns the listening ``asyncio`` server."""
+    api = SweepApi(service)
+
+    async def _handler(reader, writer):
+        await handle_connection(api, reader, writer)
+
+    return await asyncio.start_server(_handler, host=host, port=port)
+
+
+async def serve_forever(
+    service: SweepService, host: str = "127.0.0.1", port: int = 8731
+) -> None:
+    """Run the API server until cancelled (the ``repro serve`` body)."""
+    server = await start_server(service, host=host, port=port)
+    sockets = server.sockets or []
+    for sock in sockets:
+        log.info("serving on http://%s:%s", *sock.getsockname()[:2])
+    async with server:
+        await server.serve_forever()
+
+
+class ServerThread:
+    """Run the API server on a daemon thread (tests and embedding).
+
+    ``with ServerThread(service) as server: ...`` binds an ephemeral port
+    (``server.port``) on a private event loop and tears it down on exit.
+    """
+
+    def __init__(self, service: SweepService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10):  # pragma: no cover - startup hang
+            raise RuntimeError("server thread failed to start within 10s")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to bind: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            try:
+                server = await start_server(self.service, host=self.host, port=self.port)
+            except OSError as error:
+                self._error = error
+                self._started.set()
+                return
+            self.port = server.sockets[0].getsockname()[1]
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            async with server:
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    pass
+
+        asyncio.run(main())
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            for task in [t for t in asyncio.all_tasks(loop)]:
+                loop.call_soon_threadsafe(task.cancel)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ExplorationRows:
+    """Tiny adapter reusing :meth:`ExplorationResult.to_dicts` on a slice."""
+
+    def __init__(self, evaluations):
+        from repro.core.results import ExplorationResult
+
+        self._result = ExplorationResult(list(evaluations), name="view")
+
+    def to_dicts(self) -> list[dict]:
+        return self._result.to_dicts()

@@ -84,6 +84,51 @@ class TestCompare:
         assert "REGRESSED" in render_comparison(rows, threshold=0.20)
 
 
+class TestLedgerDurability:
+    """Regression: the ledger append used to be a bare ``write_text``
+    read-modify-write -- a crash mid-write destroyed the whole history,
+    and two concurrent CI jobs lost each other's records."""
+
+    def test_crash_mid_append_keeps_previous_ledger(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "BENCH_20260806.json"
+        append_records(path, [record("a", 1.0)])
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            append_records(path, [record("b", 2.0)])
+        monkeypatch.undo()
+        assert path.read_text() == before
+        assert [r.name for r in load_records(path)] == ["a"]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_concurrent_appends_lose_no_records(self, tmp_path):
+        import threading
+
+        path = tmp_path / "BENCH_20260806.json"
+        n_threads, n_each = 6, 5
+
+        def worker(tag):
+            for i in range(n_each):
+                append_records(path, [record(f"{tag}-{i}", 1.0)])
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        names = [r.name for r in load_records(path)]
+        assert len(names) == n_threads * n_each
+        assert len(set(names)) == n_threads * n_each
+
+
 class TestBenchCli:
     def _ledger(self, tmp_path, name: str, wall_s: float):
         path = tmp_path / name
@@ -123,6 +168,17 @@ class TestBenchCli:
     def test_unknown_benchmark_is_an_error(self, tmp_path):
         code = main(["bench", "--out", str(tmp_path / "B.json"), "--benchmarks", "nope"])
         assert code == 2
+
+    def test_compare_only_missing_ledger_is_an_error(self, tmp_path, capsys):
+        """Regression: ``--compare-only`` against a ledger that does not
+        exist used to compare an empty record list and exit 0, silently
+        masking a misconfigured CI gate."""
+        missing = tmp_path / "BENCH_20260806.json"
+        code = main(["bench", "--compare-only", "--out", str(missing), "--compare"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "existing ledger" in err
+        assert str(missing) in err
 
     def test_cli_runs_registered_benchmarks(self, tmp_path, monkeypatch, capsys):
         import repro.bench as bench_module

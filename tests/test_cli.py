@@ -289,3 +289,56 @@ class TestSweepParallelFlags:
     def test_unknown_executor_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--executor", "gpu"])
+
+
+class TestStoreCli:
+    def _seed_store(self, tmp_path):
+        from repro.core.results import Evaluation, ExplorationResult
+        from repro.power.technology import DesignPoint
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        evaluations = [
+            Evaluation(DesignPoint(n_bits=b), {"power_uw": float(b)}) for b in (6, 7)
+        ]
+        store.put_sweep("demo", "fp-v1", ExplorationResult(evaluations, name="demo"))
+        return store
+
+    def test_ls_lists_sweeps(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert main(["store", "ls", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert " 2 " in out
+
+    def test_ls_empty_store(self, tmp_path, capsys):
+        assert main(["store", "ls", "--store", str(tmp_path / "empty")]) == 0
+        assert "no sweeps" in capsys.readouterr().out
+
+    def test_get_prints_manifest_json(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert main(["store", "get", "demo", "--store", str(store.root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "demo"
+        assert len(payload["entries"]) == 2
+
+    def test_get_missing_sweep_exits_nonzero(self, tmp_path, capsys):
+        store = self._seed_store(tmp_path)
+        assert main(["store", "get", "nope", "--store", str(store.root)]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_gc_reports_removed_blobs(self, tmp_path, capsys):
+        from repro.core.results import Evaluation
+        from repro.power.technology import DesignPoint
+
+        store = self._seed_store(tmp_path)
+        orphan = Evaluation(DesignPoint(n_bits=12), {"power_uw": 12.0})
+        store.put_evaluation("fp-v1", orphan.point, orphan)
+        assert main(["store", "gc", "--store", str(store.root)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(["serve", "--port", "9000"])
+        assert args.port == 9000
+        assert args.host == "127.0.0.1"
+        assert args.store == ".repro-store"

@@ -1,0 +1,110 @@
+"""Tests of the durable file I/O primitives (atomic replace, locking)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.util.fsio import FileLock, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        returned = atomic_write_text(path, "hello")
+        assert returned == path
+        assert path.read_text() == "hello"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(path, "x")
+        assert path.read_text() == "x"
+
+    def test_crash_during_replace_keeps_previous_file(self, tmp_path, monkeypatch):
+        """A crash between temp write and rename must leave the old file
+        intact and parseable, and must not leak the temp file."""
+        path = tmp_path / "out.json"
+        atomic_write_text(path, json.dumps({"v": 1}))
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(path, json.dumps({"v": 2}))
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_during_write_keeps_previous_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, json.dumps({"v": 1}))
+
+        def exploding_fsync(fd):
+            raise OSError("simulated full disk")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="full disk"):
+            atomic_write_text(path, json.dumps({"v": 2}), fsync=True)
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_fsync_path_still_writes(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "durable", fsync=True)
+        assert path.read_text() == "durable"
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": [1, 2], "b": "x"})
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": "x"}
+
+    def test_trailing_newline(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {})
+        assert path.read_text().endswith("\n")
+
+
+class TestFileLock:
+    def test_context_manager_acquires_and_releases(self, tmp_path):
+        target = tmp_path / "ledger.json"
+        with FileLock(target):
+            assert (tmp_path / "ledger.json.lock").exists()
+        # Lock file is deliberately left behind (no ghost-inode race).
+        assert (tmp_path / "ledger.json.lock").exists()
+
+    def test_reentrant_within_one_instance(self, tmp_path):
+        lock = FileLock(tmp_path / "t")
+        with lock:
+            with lock:
+                pass
+
+    def test_serialises_concurrent_read_modify_write(self, tmp_path):
+        """N threads, each on its own FileLock instance, increment a
+        counter file; without mutual exclusion updates are lost."""
+        target = tmp_path / "counter.json"
+        target.write_text("0")
+        n_threads, n_iters = 8, 25
+
+        def worker():
+            for _ in range(n_iters):
+                with FileLock(target):
+                    value = int(target.read_text())
+                    atomic_write_text(target, str(value + 1))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert int(target.read_text()) == n_threads * n_iters

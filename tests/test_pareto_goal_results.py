@@ -313,7 +313,58 @@ class TestHeterogeneousSweeps:
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 3
         assert "nan" not in lines[2]
-        assert lines[2].endswith(",,") or lines[2].split(",")[1:] == ["", ""]
+        # NaN metric cells are blank; the trailing error column carries
+        # the failure message (see TestLossyExportRegression).
+        cells = lines[2].split(",")
+        assert cells[-1] == "boom"
+        assert set(cells[1:-1]) == {""}
+
+
+class TestLossyExportRegression:
+    """Regression: ``to_dicts``/``to_csv`` used to drop ``breakdown`` and
+    ``error``, so a failed point exported as a bare ``{"point": ...}`` row
+    indistinguishable from a metric-less success, and per-block power was
+    unrecoverable from the export."""
+
+    def make_result(self):
+        good = Evaluation(
+            point=DesignPoint(n_bits=6),
+            metrics={"power_uw": 1.0, "accuracy": 0.9},
+            breakdown={"lna": 0.4, "adc": 0.6},
+        )
+        failed = Evaluation(
+            point=DesignPoint(n_bits=10), metrics={}, error="ValueError: boom"
+        )
+        return ExplorationResult([good, failed], name="mixed")
+
+    def test_to_dicts_includes_breakdown(self):
+        rows = self.make_result().to_dicts()
+        assert rows[0]["breakdown"] == {"lna": 0.4, "adc": 0.6}
+        assert "error" not in rows[0]
+
+    def test_to_dicts_includes_error(self):
+        rows = self.make_result().to_dicts()
+        assert rows[1]["error"] == "ValueError: boom"
+        assert "breakdown" not in rows[1]
+
+    def test_to_dicts_round_trips_failed_point_visibly(self):
+        # The failed row must be distinguishable from a success.
+        rows = self.make_result().to_dicts()
+        assert [("error" in r) for r in rows] == [False, True]
+
+    def test_to_csv_mixed_sweep_gets_error_column(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        self.make_result().to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",")[-1] == "error"
+        assert lines[1].endswith(",")  # success row: empty error cell
+        assert lines[2].endswith("ValueError: boom")
+
+    def test_to_csv_all_success_keeps_historical_header(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        ExplorationResult([ev(1, 0.9)]).to_csv(str(path))
+        header = path.read_text().splitlines()[0]
+        assert "error" not in header.split(",")
 
 
 class TestVectorisedParetoParity:

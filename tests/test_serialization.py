@@ -113,6 +113,28 @@ class TestResultFiles:
         assert payload["format_version"] == 1
         assert len(payload["evaluations"]) == 2
 
+    def test_crash_mid_save_keeps_previous_file(self, tmp_path, monkeypatch):
+        """Regression: ``save_result`` used to ``write_text`` in place, so
+        a crash mid-write truncated an hours-long sweep to garbage.  With
+        the atomic-replace discipline the previous file survives intact."""
+        import os
+
+        path = tmp_path / "sweep.json"
+        save_result(self.make_result(), path)
+        before = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated kill -9 mid-rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated kill"):
+            save_result(self.make_result(), path)
+        monkeypatch.undo()
+        assert path.read_text() == before
+        restored = load_result(path)  # previous file still parseable
+        assert len(restored) == 2
+        assert list(tmp_path.glob("*.tmp")) == []
+
 
 class TestFailedEvaluationRoundTrip:
     def test_error_field_round_trips(self):
