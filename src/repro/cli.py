@@ -14,7 +14,11 @@ Gives the paper's workflow a shell entry point:
   re-simulating;
 * ``budget`` -- print the closed-form noise budget of a design point;
 * ``robustness`` -- Monte-Carlo fault-injection yield analysis of the two
-  reference optima (accuracy degradation vs fault severity).
+  reference optima (accuracy degradation vs fault severity);
+* ``worker`` -- join a fleet sweep as a remote worker
+  (``repro worker --connect HOST:PORT``); the coordinator side is
+  ``repro sweep --fleet`` (see :mod:`repro.fleet` and
+  ``docs/distributed.md``).
 
 Every command prints plain text (ASCII charts included), suitable for
 logs and CI artefacts.
@@ -134,6 +138,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     telemetry = get_active()
     ledger = None
+    if args.adaptive and args.fleet:
+        print(
+            "error: --fleet is not supported with --adaptive (the adaptive "
+            "schedule re-plans between rungs; run each rung scale directly)",
+            file=sys.stderr,
+        )
+        return 2
     if args.adaptive:
         # No live progress line: each rung is its own sweep with a
         # data-dependent total, so a single [done/total] ETA would lie.
@@ -154,6 +165,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(ledger.summary())
         print()
     else:
+        fleet_options = None
+        if args.fleet:
+            from repro.fleet import FleetOptions
+
+            if args.executor not in (None, "fleet"):
+                print(
+                    f"error: --fleet conflicts with --executor {args.executor}",
+                    file=sys.stderr,
+                )
+                return 2
+            fleet_kwargs = {}
+            if args.fleet_lease_timeout is not None:
+                fleet_kwargs["lease_timeout_s"] = args.fleet_lease_timeout
+            fleet_options = FleetOptions(
+                # Advertise the evaluator recipe so external workers
+                # (repro worker --connect) can rebuild the same harness.
+                spec={"kind": "scale", "scale": args.scale},
+                host=args.fleet_host,
+                port=args.fleet_port,
+                spawn_workers=(
+                    args.fleet_spawn
+                    if args.fleet_spawn is not None
+                    else (args.workers or 3)
+                ),
+                worker_cache_dir=None if args.no_cache else args.cache_dir,
+                **fleet_kwargs,
+            )
         progress = (
             None
             if args.no_progress
@@ -161,7 +199,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         sweep = run_search_space(
             args.scale,
-            executor=args.executor,
+            executor="fleet" if fleet_options is not None else args.executor,
             n_workers=args.workers,
             checkpoint=args.checkpoint,
             cache_dir=None if args.no_cache else args.cache_dir,
@@ -169,6 +207,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             telemetry=telemetry if telemetry.enabled else None,
             timeout_s=args.timeout,
             retries=args.retries,
+            fleet=fleet_options,
         )
     full_sweep = sweep
     failures = sweep.failures()
@@ -214,6 +253,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers = args.workers
         if args.adaptive:
             executor = args.executor or "batched"
+        elif args.fleet:
+            executor = "fleet"
         else:
             executor = args.executor or ("process" if (workers or 1) > 1 else "serial")
         manifest = build_run_manifest(
@@ -368,6 +409,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if any(row["regressed"] for row in rows) else 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetWorker, ProtocolError
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        endpoint = (host, int(port_text))
+        if not host:
+            raise ValueError("missing host")
+    except ValueError:
+        print(
+            f"error: --connect wants HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    worker = FleetWorker(
+        endpoint,
+        label=args.label,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        connect_timeout_s=args.connect_timeout,
+    )
+    print(f"worker {worker.label} connecting to {endpoint[0]}:{endpoint[1]}")
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        print("\nworker interrupted")
+        return 130
+    except (ProtocolError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    stats = worker.stats
+    print(
+        f"worker {worker.label} done: {stats['chunks']} chunks, "
+        f"{stats['points']} points ({stats['cache_hits']} cache hits, "
+        f"{stats['evaluator_calls']} evaluator calls, "
+        f"{stats['reconnects']} reconnects)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -379,9 +459,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = SweepService(store, telemetry=get_active())
     print(f"serving sweeps from {store.root} on http://{args.host}:{args.port}")
     try:
-        asyncio.run(serve_forever(service, host=args.host, port=args.port))
+        asyncio.run(
+            serve_forever(
+                service,
+                host=args.host,
+                port=args.port,
+                drain_timeout_s=args.drain_timeout,
+            )
+        )
     except KeyboardInterrupt:
-        print("\nshutting down")
+        # Platforms where asyncio signal handlers are unavailable fall
+        # back to the raw interrupt; drain what we can before exiting.
+        service.drain(args.drain_timeout)
+    print("\nshut down")
     return 0
 
 
@@ -517,11 +607,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--executor",
-        choices=["serial", "process", "thread", "batched"],
+        choices=["serial", "process", "thread", "batched", "fleet"],
         default=None,
         help="execution backend (default: process when --workers > 1); "
         "'batched' vectorises topology-sharing points through the blocks' "
-        "process_batch kernels and shards over --workers when > 1",
+        "process_batch kernels and shards over --workers when > 1; "
+        "'fleet' distributes leased chunks to workers over TCP (see --fleet)",
+    )
+    sweep.add_argument(
+        "--fleet",
+        action="store_true",
+        help="run the sweep through the fault-tolerant fleet coordinator: "
+        "chunks are leased to workers over TCP, dead workers are recovered "
+        "by lease expiry, and remote workers can join with "
+        "'repro worker --connect HOST:PORT'",
+    )
+    sweep.add_argument(
+        "--fleet-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="coordinator bind address (use 0.0.0.0 to accept remote workers)",
+    )
+    sweep.add_argument(
+        "--fleet-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="coordinator bind port (default: an ephemeral port)",
+    )
+    sweep.add_argument(
+        "--fleet-spawn",
+        type=int,
+        default=None,
+        metavar="N",
+        help="local worker processes to spawn (default: --workers, else 3; "
+        "0 waits for external workers only)",
+    )
+    sweep.add_argument(
+        "--fleet-lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease deadline: a worker silent this long loses its chunk "
+        "and it is requeued (default: 30)",
     )
     sweep.add_argument(
         "--checkpoint",
@@ -656,6 +784,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=_cmd_bench)
 
+    worker = sub.add_parser(
+        "worker",
+        help="join a fleet sweep as a worker (pair of 'repro sweep --fleet')",
+        parents=[common],
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator endpoint printed by 'repro sweep --fleet'",
+    )
+    worker.add_argument(
+        "--label",
+        default=None,
+        help="worker label for telemetry attribution (default: hostname:pid)",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="local on-disk evaluation cache directory",
+    )
+    worker.add_argument(
+        "--no-cache", action="store_true", help="disable the local evaluation cache"
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long to keep retrying the initial dial before giving up",
+    )
+    worker.set_defaults(func=_cmd_worker)
+
     serve = sub.add_parser(
         "serve",
         help="run the sweep-as-a-service HTTP API over a result store",
@@ -667,6 +828,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=".repro-store",
         help="result store root (evaluation blobs + sweep manifests + index)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT: refuse new submissions, then wait this "
+        "long for running sweeps to finish before exiting",
     )
     serve.set_defaults(func=_cmd_serve)
 

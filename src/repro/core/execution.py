@@ -34,6 +34,7 @@ import hashlib
 import json
 import logging
 import os
+import random
 import tempfile
 import threading
 import time
@@ -51,6 +52,7 @@ from repro.core.telemetry import (
 )
 from repro.core.tracing import Tracer
 from repro.power.technology import DesignPoint
+from repro.util.rng import derive_seed
 
 try:  # POSIX advisory locking; the fallback covers other platforms.
     import fcntl
@@ -60,7 +62,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 log = logging.getLogger("repro.execution")
 
 #: Valid values of ``DesignSpaceExplorer.explore(executor=...)``.
-EXECUTORS = ("serial", "process", "thread", "batched")
+EXECUTORS = ("serial", "process", "thread", "batched", "fleet")
 
 
 class EvaluationTimeout(TimeoutError):
@@ -109,18 +111,29 @@ class ExecutionPolicy:
         evaluators), which is exactly what they are bounded for.
     retry_backoff_s:
         Base of the exponential backoff between attempts: attempt ``k``
-        sleeps ``retry_backoff_s * 2**(k-1)`` seconds.  0 disables the
-        sleep (used by tests).
+        sleeps up to ``retry_backoff_s * 2**(k-1)`` seconds.  0 disables
+        the sleep (used by tests).
     retry_timeouts:
         Whether a timed-out evaluation is retried.  Off by default: each
         abandoned attempt leaks a watchdog thread, and a deterministic
         hang would leak ``retries + 1`` of them.
+    retry_jitter:
+        Apply seeded *full jitter* to the backoff: attempt ``k`` sleeps
+        ``uniform(0, retry_backoff_s * 2**(k-1))`` seconds, with the
+        uniform draw seeded from the point description and attempt
+        number (:func:`repro.util.rng.derive_seed`), so a fleet of
+        workers retrying after a shared transient fault spreads its
+        retries instead of stampeding in lockstep -- while any single
+        point's backoff schedule stays reproducible.  On by default;
+        irrelevant when ``retry_backoff_s`` is 0, so the deterministic
+        0-backoff test path is unchanged.
     """
 
     timeout_s: float | None = None
     retries: int = 0
     retry_backoff_s: float = 0.5
     retry_timeouts: bool = False
+    retry_jitter: bool = True
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -135,6 +148,25 @@ class ExecutionPolicy:
 
 #: The do-nothing policy: no timeout, no retries (pre-hardening semantics).
 DEFAULT_POLICY = ExecutionPolicy()
+
+
+def retry_delay_s(
+    policy: ExecutionPolicy, point: DesignPoint, attempt: int
+) -> float:
+    """Backoff before retry ``attempt`` (1-based) of ``point``.
+
+    Exponential in the attempt number; with ``policy.retry_jitter`` the
+    delay is a full-jitter uniform draw over ``[0, ceiling]`` seeded from
+    the point description and attempt, so concurrent workers retrying
+    the same transient fault decorrelate deterministically.
+    """
+    ceiling = policy.retry_backoff_s * 2 ** (attempt - 1)
+    if ceiling <= 0:
+        return 0.0
+    if not policy.retry_jitter:
+        return ceiling
+    rng = random.Random(derive_seed(attempt, f"retry:{point.describe()}"))
+    return rng.uniform(0.0, ceiling)
 
 
 def _call_with_timeout(
@@ -199,7 +231,7 @@ def _evaluate_with_policy(
             attempt += 1
             stats["retries"] += 1
             if policy.retry_backoff_s > 0:
-                time.sleep(policy.retry_backoff_s * 2 ** (attempt - 1))
+                time.sleep(retry_delay_s(policy, point, attempt))
             continue
         if strict:
             raise PointEvaluationError(

@@ -310,6 +310,9 @@ class DesignSpaceExplorer:
 
     def __init__(self, evaluator: Callable[[DesignPoint], Evaluation]):
         self.evaluator = evaluator
+        #: :class:`~repro.fleet.FleetReport` of the most recent
+        #: ``executor="fleet"`` sweep (``None`` before one runs).
+        self.last_fleet_report = None
 
     def explore(
         self,
@@ -329,6 +332,7 @@ class DesignSpaceExplorer:
         timeout_s: float | None = None,
         retries: int = 0,
         retry_backoff_s: float = 0.5,
+        fleet=None,
     ) -> ExplorationResult:
         """Evaluate every point of ``space``.
 
@@ -340,8 +344,8 @@ class DesignSpaceExplorer:
             parallel executor the invocation order follows *completion*
             order; the returned result is always in grid order.
         executor:
-            ``"serial"`` (default), ``"process"``, ``"thread"`` or
-            ``"batched"``.  Seeds derive from the master seed and the
+            ``"serial"`` (default), ``"process"``, ``"thread"``,
+            ``"batched"`` or ``"fleet"``.  Seeds derive from the master seed and the
             point description, never from evaluation order, so the scalar
             backends return bit-identical results.  ``"batched"`` groups
             points sharing a chain topology and runs each group as one
@@ -350,7 +354,11 @@ class DesignSpaceExplorer:
             kernel-less block -- fault-wrapped chains, custom blocks --
             transparently fall back to the scalar path.  With
             ``n_workers > 1`` the pending points shard over a process
-            pool and each worker batches its shard.
+            pool and each worker batches its shard.  ``"fleet"``
+            distributes chunks to worker *processes or remote hosts*
+            over the lease-based TCP protocol of :mod:`repro.fleet`,
+            surviving killed workers, silent leases and socket
+            partitions (see the ``fleet`` parameter).
         n_workers:
             Pool size for parallel executors (default ``os.cpu_count()``).
         chunk_size:
@@ -389,6 +397,15 @@ class DesignSpaceExplorer:
             point becomes a failed :class:`Evaluation` (non-strict) so a
             hung reconstruction cannot stall the sweep; ``retries`` bounds
             re-attempts of *failing* (not timed-out) points.
+        fleet:
+            :class:`~repro.fleet.FleetOptions` for ``executor="fleet"``
+            (endpoint, spawned local workers, lease timeout, chaos
+            plans).  Defaults to ``FleetOptions()``: an ephemeral
+            localhost port with 3 forked worker processes.  The run's
+            :class:`~repro.fleet.FleetReport` lands in
+            :attr:`last_fleet_report`, in the ``fleet.report``
+            telemetry event, and (via the runner) in the manifest's
+            ``fleet`` section.
 
         Hardened semantics (non-strict):
 
@@ -405,6 +422,13 @@ class DesignSpaceExplorer:
         """
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+        if executor == "fleet" and strict:
+            raise ValueError(
+                "executor='fleet' always isolates point failures on the "
+                "workers; strict=True is unsupported"
+            )
+        if fleet is not None and executor != "fleet":
+            raise ValueError("fleet options require executor='fleet'")
         if policy is None:
             policy = ExecutionPolicy(
                 timeout_s=timeout_s, retries=retries, retry_backoff_s=retry_backoff_s
@@ -546,6 +570,10 @@ class DesignSpaceExplorer:
                     elif pending and executor == "batched":
                         self._run_batched(
                             pending, n_workers, chunk_size, strict, policy, finalize, tel
+                        )
+                    elif pending and executor == "fleet":
+                        self._run_fleet(
+                            pending, n_workers, chunk_size, policy, finalize, tel, fleet
                         )
                     elif pending:
                         self._run_parallel(
@@ -729,6 +757,85 @@ class DesignSpaceExplorer:
                 for future in futures:
                     future.cancel()
                 raise
+
+    def _run_fleet(
+        self,
+        pending: list[tuple[int, DesignPoint]],
+        n_workers: int | None,
+        chunk_size: int | None,
+        policy: ExecutionPolicy,
+        finalize: Callable[..., None],
+        tel: Telemetry,
+        options,
+    ) -> None:
+        """Distribute ``pending`` over a lease-based worker fleet.
+
+        The coordinator binds an ephemeral (or configured) TCP port,
+        optionally forks local worker processes against it, and blocks
+        until every point is finalised -- completed by some worker, or
+        quarantined by the requeue ladder as a poison point.  Workers
+        that die, go silent or partition mid-lease are recovered by the
+        coordinator (see :mod:`repro.fleet.coordinator`); the finalize
+        hook runs on the driver exactly once per point, so checkpoint,
+        cache and progress semantics match every other executor.
+        """
+        # Imported lazily: the fleet layer depends on execution/telemetry
+        # and nothing in the core import graph may depend on it.
+        from repro import fleet as fleet_mod
+
+        if options is None:
+            options = fleet_mod.FleetOptions()
+        hint = options.spawn_workers or n_workers or 4
+
+        def fleet_finalize(index, evaluation, elapsed_s, stats):
+            # A worker cache hit reports 0.0s; keep it out of the
+            # latency stats like driver-side hits are.
+            finalize(
+                index,
+                evaluation,
+                elapsed=elapsed_s if elapsed_s > 0 else None,
+                stats=stats,
+            )
+
+        coordinator = fleet_mod.FleetCoordinator(
+            evaluator_fingerprint(self.evaluator),
+            host=options.host,
+            port=options.port,
+            spec=options.spec,
+            lease_timeout_s=options.lease_timeout_s,
+            heartbeat_interval_s=options.heartbeat_interval_s,
+            max_requeues=options.max_requeues,
+            wait_for_workers=options.wait_for_workers,
+            policy=policy,
+            telemetry=tel,
+        )
+        host, port = coordinator.endpoint
+        log.info("fleet coordinator listening on %s:%d", host, port)
+        processes: list = []
+        try:
+            if options.spawn_workers:
+                processes = fleet_mod.spawn_local_workers(
+                    options.spawn_workers,
+                    coordinator.endpoint,
+                    evaluator=self.evaluator,
+                    cache_dir=options.worker_cache_dir,
+                    plans=tuple(options.chaos_plans),
+                )
+            self.last_fleet_report = coordinator.run(
+                pending,
+                fleet_finalize,
+                n_workers=hint,
+                chunk_size=chunk_size,
+                interrupt_after_points=options.interrupt_after_points,
+            )
+            for process in processes:
+                process.join(timeout=10.0)
+        finally:
+            coordinator.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
 
     def _run_batched(
         self,

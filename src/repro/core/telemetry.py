@@ -66,7 +66,10 @@ log = logging.getLogger("repro.telemetry")
 #: distributions with p50/p95/p99), plus stddev in every stats dict.
 #: v4 added ``adaptive`` (the multi-fidelity promotion ledger: per-rung
 #: proposed/kept/promoted counts and the full-fidelity reduction factor).
-MANIFEST_SCHEMA_VERSION = 4
+#: v5 added ``fleet`` (the distributed-sweep report: per-worker chunk and
+#: evaluator-call attribution, lease grant/expiry/requeue counts,
+#: duplicate-completion drops and quarantined poison chunks).
+MANIFEST_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -540,6 +543,86 @@ class TelemetrySnapshot:
     trace: dict | None = None
     max_events: int = 0
 
+    def to_wire(self) -> dict:
+        """Lossless JSON-ready form for non-pickle transports.
+
+        The process-pool path ships snapshots by pickle; the fleet
+        protocol ships them as JSON lines over a socket.  This encoding
+        keeps the *raw* aggregate fields (``m2``, bucket counts) rather
+        than the derived summaries of :meth:`Stats.to_dict`, so
+        :meth:`from_wire` rebuilds a snapshot that merges exactly like
+        the original.  Infinities (empty-aggregate min/max sentinels)
+        are encoded as ``None`` to stay inside strict JSON.
+        """
+
+        def _stats(s: Stats) -> dict:
+            return {
+                "count": s.count,
+                "total": s.total,
+                "min": None if math.isinf(s.min) else s.min,
+                "max": None if math.isinf(s.max) else s.max,
+                "m2": s.m2,
+            }
+
+        def _histogram(h: Histogram) -> dict:
+            return {
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "count": h.count,
+                "total": h.total,
+                "min": None if math.isinf(h.min) else h.min,
+                "max": None if math.isinf(h.max) else h.max,
+            }
+
+        return {
+            "label": self.label,
+            "counters": dict(self.counters),
+            "spans": {name: _stats(s) for name, s in self.spans.items()},
+            "values": {name: _stats(s) for name, s in self.values.items()},
+            "histograms": {
+                name: _histogram(h) for name, h in self.histograms.items()
+            },
+            "events": [dict(e) for e in self.events],
+            "trace": self.trace,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "TelemetrySnapshot":
+        """Rebuild a snapshot from :meth:`to_wire` output."""
+
+        def _stats(raw: dict) -> Stats:
+            return Stats(
+                count=int(raw["count"]),
+                total=float(raw["total"]),
+                min=math.inf if raw["min"] is None else float(raw["min"]),
+                max=-math.inf if raw["max"] is None else float(raw["max"]),
+                m2=float(raw["m2"]),
+            )
+
+        def _histogram(raw: dict) -> Histogram:
+            histogram = Histogram(
+                bounds=tuple(raw["bounds"]), counts=[int(c) for c in raw["counts"]]
+            )
+            histogram.count = int(raw["count"])
+            histogram.total = float(raw["total"])
+            histogram.min = math.inf if raw["min"] is None else float(raw["min"])
+            histogram.max = -math.inf if raw["max"] is None else float(raw["max"])
+            return histogram
+
+        return cls(
+            label=str(payload.get("label", "")),
+            counters=dict(payload.get("counters", {})),
+            spans={n: _stats(s) for n, s in payload.get("spans", {}).items()},
+            values={n: _stats(s) for n, s in payload.get("values", {}).items()},
+            histograms={
+                n: _histogram(h) for n, h in payload.get("histograms", {}).items()
+            },
+            events=[dict(e) for e in payload.get("events", [])],
+            trace=payload.get("trace"),
+            max_events=int(payload.get("max_events", 0)),
+        )
+
 
 class NullTelemetry(Telemetry):
     """Disabled telemetry: every hook is a no-op.
@@ -651,6 +734,10 @@ class RunManifest:
     #: (:meth:`repro.core.adaptive.PromotionLedger.to_dict`); empty for
     #: exhaustive sweeps.
     adaptive: dict = field(default_factory=dict)
+    #: Distributed-sweep report (:meth:`repro.fleet.FleetReport.to_dict`):
+    #: per-worker attribution, lease/requeue/duplicate accounting and
+    #: quarantined poison chunks; empty for single-host runs.
+    fleet: dict = field(default_factory=dict)
     #: Completion-order progress events (done/total/elapsed/ETA).
     eta_history: list = field(default_factory=list)
     environment: dict = field(default_factory=dict)

@@ -283,6 +283,7 @@ def _run_sweep(
     telemetry: Telemetry | None = None,
     timeout_s: float | None = None,
     retries: int = 0,
+    fleet=None,
 ) -> ExplorationResult:
     harness = make_harness(scale_name)
     explorer = DesignSpaceExplorer(harness.evaluator)
@@ -297,6 +298,7 @@ def _run_sweep(
         telemetry=telemetry,
         timeout_s=timeout_s,
         retries=retries,
+        fleet=fleet,
     )
 
 
@@ -332,6 +334,7 @@ def run_search_space(
     telemetry: Telemetry | None = None,
     timeout_s: float | None = None,
     retries: int = 0,
+    fleet=None,
 ) -> ExplorationResult:
     """The Fig. 7 search-space sweep (cached per scale; Figs. 8-10 reuse it).
 
@@ -345,6 +348,10 @@ def run_search_space(
     runs observed through either bypass the in-process memo so the
     observers actually fire.  ``timeout_s``/``retries`` harden the run
     (per-point wall-clock ceiling, bounded retry of transient failures).
+    ``fleet`` (:class:`repro.fleet.FleetOptions`, or executor="fleet")
+    distributes the sweep over lease-based worker processes; fleet runs
+    always bypass the memo -- their per-run report (and any chaos plans)
+    is per-run state.
     """
     if scale is None:
         scale = active_scale()
@@ -352,8 +359,10 @@ def run_search_space(
     if n_workers is None:
         n_workers = default_workers()
     if executor is None:
-        executor = "process" if (n_workers or 1) > 1 else "serial"
-    if progress is not None or telemetry is not None:
+        executor = "fleet" if fleet is not None else (
+            "process" if (n_workers or 1) > 1 else "serial"
+        )
+    if progress is not None or telemetry is not None or executor == "fleet":
         return _run_sweep(
             name,
             executor,
@@ -364,6 +373,7 @@ def run_search_space(
             telemetry,
             timeout_s=timeout_s,
             retries=retries,
+            fleet=fleet,
         )
     return _sweep_cached(
         name, executor, n_workers, checkpoint, cache_dir, timeout_s, retries
@@ -506,6 +516,17 @@ def build_run_manifest(
         for event in snapshot["events"]
         if event["kind"] == "batch.fallback"
     ]
+    # A fleet run reports its lease/requeue/quarantine accounting as one
+    # ``fleet.report`` event when the coordinator finishes; the last one
+    # wins (resumed runs emit one per attempt).
+    fleet_section: dict = {}
+    for event in snapshot["events"]:
+        if event["kind"] == "fleet.report":
+            fleet_section = {
+                key: value
+                for key, value in event.items()
+                if key not in ("kind", "t_unix")
+            }
 
     best = sweep.best()
     representative = best if best is not None else next(
@@ -549,6 +570,7 @@ def build_run_manifest(
         },
         trace=telemetry.tracer.summary() if telemetry.tracer is not None else {},
         adaptive=dict(adaptive) if adaptive else {},
+        fleet=fleet_section,
         workers=snapshot["workers"],
         histograms=snapshot["histograms"],
         eta_history=eta_history,

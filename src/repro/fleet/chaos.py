@@ -1,0 +1,114 @@
+"""Deterministic fault injection for fleet sweeps.
+
+The chaos harness answers the only question that matters for a
+distributed layer: *does the sweep still converge to the single-host
+result when the fleet misbehaves?*  A :class:`ChaosPlan` scripts one
+worker's misbehaviour -- SIGKILL itself mid-chunk, go silent (drop
+heartbeats) so its lease expires while it keeps computing, delay its
+completion past the deadline to force the late-double-completion dedup
+path, or partition its socket and reconnect.  Plans are plain frozen
+dataclasses the spawned worker process receives at fork, so every fault
+fires at an exact, reproducible step -- no timing races in the tests.
+
+:func:`seeded_plans` derives a whole fleet's plans from one seed via
+:func:`repro.util.rng.derive_seed` (the same SHA-256 stream-splitting
+the simulators use), so a chaos CI run is as reproducible as a clean
+sweep: same seed, same faults, same recovery sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Scripted misbehaviour of one worker.
+
+    Parameters
+    ----------
+    kill_after_points:
+        SIGKILL the worker process after it has evaluated this many
+        points (counted across chunks) -- mid-chunk, before any
+        completion is sent.  The hard-crash case: no goodbye, no flush;
+        the coordinator only learns via the dropped connection.
+    drop_heartbeats_on_chunk:
+        On the k-th chunk this worker receives (0-based), send no
+        heartbeats while evaluating, so the lease expires even though
+        the worker is healthy.
+    complete_delay_s:
+        Extra sleep before sending the completion of the heartbeat-less
+        chunk.  Set longer than the lease timeout to guarantee the
+        coordinator requeues first and this worker's completion arrives
+        *late* -- exercising exactly-once dedup.
+    partition_on_chunk:
+        On the k-th chunk (0-based), drop the socket right after
+        receiving the lease (evaluating nothing), wait
+        ``partition_reconnect_s``, and reconnect as a fresh session.
+    """
+
+    label: str = ""
+    kill_after_points: int | None = None
+    drop_heartbeats_on_chunk: int | None = None
+    complete_delay_s: float = 0.0
+    partition_on_chunk: int | None = None
+    partition_reconnect_s: float = 0.2
+
+
+#: A plan that injects nothing (the default for unlisted workers).
+BENIGN = ChaosPlan(label="benign")
+
+
+def seeded_plans(
+    seed: int,
+    n_workers: int,
+    *,
+    kill_fraction: float = 0.0,
+    silence_fraction: float = 0.0,
+    partition_fraction: float = 0.0,
+    kill_after_points: int = 2,
+    complete_delay_s: float = 0.0,
+) -> list[ChaosPlan]:
+    """Derive one fault plan per worker from a seed.
+
+    Each worker draws from its own :func:`derive_seed` stream, so adding
+    a worker never changes the faults of the others.  At most one fault
+    class is assigned per worker (killed workers cannot also partition),
+    chosen by a single uniform draw against the cumulative fractions.
+    """
+    for name, fraction in (
+        ("kill_fraction", kill_fraction),
+        ("silence_fraction", silence_fraction),
+        ("partition_fraction", partition_fraction),
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {fraction}")
+    if kill_fraction + silence_fraction + partition_fraction > 1.0:
+        raise ValueError("chaos fractions must sum to <= 1")
+    plans: list[ChaosPlan] = []
+    for i in range(n_workers):
+        rng = random.Random(derive_seed(seed, f"fleet.chaos:{i}"))
+        draw = rng.random()
+        label = f"chaos-{i}"
+        if draw < kill_fraction:
+            plans.append(
+                ChaosPlan(label=label, kill_after_points=kill_after_points)
+            )
+        elif draw < kill_fraction + silence_fraction:
+            plans.append(
+                ChaosPlan(
+                    label=label,
+                    drop_heartbeats_on_chunk=rng.randrange(2),
+                    complete_delay_s=complete_delay_s,
+                )
+            )
+        elif draw < kill_fraction + silence_fraction + partition_fraction:
+            plans.append(
+                ChaosPlan(label=label, partition_on_chunk=rng.randrange(2))
+            )
+        else:
+            plans.append(ChaosPlan(label=label))
+    return plans

@@ -1,0 +1,174 @@
+"""Wire protocol of the fleet layer: JSON lines over a TCP stream.
+
+One message per line, each a JSON object with a ``type`` field.  The
+framing is deliberately primitive -- ``socket.makefile`` readers and
+``json.loads`` on both ends, no length prefixes, no binary -- because
+the payloads are small (a chunk of design points, a list of
+evaluations, a telemetry delta) and the protocol must stay debuggable
+with ``nc`` and readable in captured logs.  Everything on the wire is
+built from the canonical serialisers in :mod:`repro.core.serialization`
+(``design_point_to_dict`` / ``evaluation_to_dict`` round-trip exactly)
+plus :meth:`~repro.core.telemetry.TelemetrySnapshot.to_wire`, so a
+fleet sweep produces byte-identical evaluations to a single-host run.
+
+Message flow (worker-initiated; the coordinator only ever replies)::
+
+    worker                         coordinator
+    ------                         -----------
+    hello {protocol, label}    ->
+                               <-  welcome {protocol, fingerprint, spec,
+                                            policy, heartbeat_interval_s}
+    request {}                 ->
+                               <-  lease {lease, chunk_id, deadline_s,
+                                          fingerprint, chunk_digest,
+                                          points: [{index, point}]}
+                                   | wait {delay_s} | done {}
+    heartbeat {lease}          ->  (no reply: the worker's heartbeat
+                                    thread shares the socket with its
+                                    main thread, so replies here would
+                                    interleave into the lease stream)
+    complete {lease, chunk_digest,
+              rows: [{index, evaluation, elapsed_s, stats}],
+              telemetry?}      ->
+                               <-  ack {lease, ok, fresh, duplicates}
+    fail {lease, error}        ->
+                               <-  ack {lease, ok}
+    bye {}                     ->  (connection closes)
+
+A lease is the unit of fault tolerance: the coordinator grants a chunk
+with a deadline; heartbeats extend the deadline; a worker that goes
+silent past it loses the lease and the chunk is requeued.  Completions
+are validated against the lease's ``chunk_digest`` and deduplicated at
+*point index* granularity on the coordinator, so late completions from
+expired leases merge exactly-once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Sequence
+from typing import IO
+
+from repro.core.results import Evaluation
+from repro.core.serialization import (
+    design_point_from_dict,
+    design_point_to_dict,
+    evaluation_from_dict,
+    evaluation_to_dict,
+)
+from repro.power.technology import DesignPoint
+
+#: Version stamp exchanged in hello/welcome; mismatches refuse the worker.
+PROTOCOL_VERSION = 1
+
+#: Messages a worker may send (anything else is a protocol error).
+WORKER_MESSAGES = ("hello", "request", "heartbeat", "complete", "fail", "bye")
+
+#: Messages a coordinator may send.
+COORDINATOR_MESSAGES = ("welcome", "lease", "wait", "done", "ack", "error")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent something that is not a valid fleet message."""
+
+
+def send_message(stream: IO[str], payload: dict) -> None:
+    """Write one message as a compact JSON line and flush it.
+
+    ``allow_nan=False`` keeps the wire strict JSON: evaluation metrics
+    may legitimately be NaN/inf, but ``evaluation_to_dict`` already
+    encodes those as strings, and anything else non-finite on the wire
+    is a bug better caught at the sender.
+    """
+    stream.write(json.dumps(payload, separators=(",", ":"), allow_nan=False))
+    stream.write("\n")
+    stream.flush()
+
+
+def recv_message(stream: IO[str], expect: Sequence[str] | None = None) -> dict | None:
+    """Read one message line; ``None`` on a closed connection.
+
+    ``expect`` optionally restricts the acceptable ``type`` values;
+    out-of-band types raise :class:`ProtocolError` (the caller decides
+    whether that kills the connection or the run).
+    """
+    line = stream.readline()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"undecodable message line: {line[:200]!r}") from error
+    if not isinstance(payload, dict) or not isinstance(payload.get("type"), str):
+        raise ProtocolError(f"message must be an object with a 'type': {line[:200]!r}")
+    if expect is not None and payload["type"] not in expect:
+        raise ProtocolError(
+            f"unexpected message type {payload['type']!r} (expected one of {expect})"
+        )
+    return payload
+
+
+# --- chunk and result row encoding -------------------------------------------
+
+
+def chunk_digest(chunk: Sequence[tuple[int, DesignPoint]]) -> str:
+    """Content digest of an index-tagged chunk.
+
+    Hashes the (index, describe()) pairs in order, so the coordinator
+    can verify a completion refers to exactly the points it leased --
+    a worker answering with a stale or foreign chunk is rejected
+    instead of silently merged.
+    """
+    body = "\n".join(f"{index}:{point.describe()}" for index, point in chunk)
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def encode_chunk(chunk: Sequence[tuple[int, DesignPoint]]) -> list[dict]:
+    """Wire form of an index-tagged chunk."""
+    return [
+        {"index": int(index), "point": design_point_to_dict(point)}
+        for index, point in chunk
+    ]
+
+
+def decode_chunk(payload: Sequence[dict]) -> list[tuple[int, DesignPoint]]:
+    """Inverse of :func:`encode_chunk`."""
+    try:
+        return [
+            (int(entry["index"]), design_point_from_dict(entry["point"]))
+            for entry in payload
+        ]
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"malformed chunk payload: {error}") from error
+
+
+def encode_rows(
+    rows: Sequence[tuple[int, Evaluation, float, dict]],
+) -> list[dict]:
+    """Wire form of completed result rows (index, evaluation, timing, stats)."""
+    return [
+        {
+            "index": int(index),
+            "evaluation": evaluation_to_dict(evaluation),
+            "elapsed_s": float(elapsed_s),
+            "stats": dict(stats),
+        }
+        for index, evaluation, elapsed_s, stats in rows
+    ]
+
+
+def decode_rows(payload: Sequence[dict]) -> list[tuple[int, Evaluation, float, dict]]:
+    """Inverse of :func:`encode_rows`."""
+    try:
+        return [
+            (
+                int(entry["index"]),
+                evaluation_from_dict(entry["evaluation"]),
+                float(entry["elapsed_s"]),
+                dict(entry.get("stats", {})),
+            )
+            for entry in payload
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed result rows: {error}") from error

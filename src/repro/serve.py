@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import signal
 import threading
 import time
 from collections.abc import AsyncIterator, Callable
@@ -69,6 +70,10 @@ EVENT_POLL_S = 0.05
 
 class SubmissionError(ValueError):
     """A sweep submission payload is invalid (HTTP 400)."""
+
+
+class ServiceDraining(RuntimeError):
+    """The service is shutting down and refuses new work (HTTP 503)."""
 
 
 def default_resolver(payload: dict):
@@ -158,6 +163,58 @@ class SweepService:
         self.events_dir = store.root / "events"
         self.jobs: dict[str, SweepJob] = {}
         self._lock = threading.Lock()
+        self._draining = threading.Event()
+
+    # --- shutdown -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether the service has begun shutting down."""
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions; running sweeps keep going.
+
+        Idempotent.  Readers are unaffected -- query views keep serving
+        from the store until the process exits.
+        """
+        if not self._draining.is_set():
+            self._draining.set()
+            self.telemetry.count("serve.drain")
+            log.info("draining: refusing new sweep submissions")
+
+    def drain(self, timeout_s: float = 30.0) -> list[str]:
+        """Block until running sweeps settle; returns names still running.
+
+        Sets the draining flag, then joins the worker threads of every
+        running job for up to ``timeout_s`` total.  A job that outlives
+        the timeout is reported (and logged) rather than killed: its
+        thread is a daemon, and every point it has already finished is
+        persisted in the store's content-addressed cache, so a
+        re-submission after restart resumes from there instead of
+        re-evaluating.  Jobs that do settle have flushed and closed
+        their JSONL event sinks (the sink closes in the job thread's
+        ``finally``).
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + timeout_s
+        with self._lock:
+            running = [
+                (job.name, job.thread)
+                for job in self.jobs.values()
+                if job.status == "running" and job.thread is not None
+            ]
+        for _name, thread in running:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        unfinished = [name for name, thread in running if thread.is_alive()]
+        for name in unfinished:
+            log.warning(
+                "sweep %s still running after %.0fs drain; its finished "
+                "points are preserved in the store cache",
+                name,
+                timeout_s,
+            )
+        return unfinished
 
     # --- submission -----------------------------------------------------------
 
@@ -169,6 +226,8 @@ class SweepService:
         a duplicate).  A submission whose content-addressed entries are
         already stored completes synchronously from the store.
         """
+        if self._draining.is_set():
+            raise ServiceDraining("service is draining; not accepting new sweeps")
         name, evaluator, points, explore_kwargs = self.resolver(payload)
         check_sweep_name(name)
         if not points:
@@ -333,7 +392,7 @@ class HttpError(Exception):
 _REASONS = {
     200: "OK", 202: "Accepted", 304: "Not Modified", 400: "Bad Request",
     404: "Not Found", 405: "Method Not Allowed", 413: "Payload Too Large",
-    500: "Internal Server Error",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -393,7 +452,13 @@ class SweepApi:
         parts = [unquote(p) for p in request.path.strip("/").split("/") if p]
         try:
             if parts == ["healthz"]:
-                return self._method(request, "GET", lambda: Response(200, {"ok": True}))
+                return self._method(
+                    request,
+                    "GET",
+                    lambda: Response(
+                        200, {"ok": True, "draining": self.service.draining}
+                    ),
+                )
             if parts == ["v1", "sweeps"]:
                 if request.method == "GET":
                     return self._list_sweeps()
@@ -446,6 +511,8 @@ class SweepApi:
             raise HttpError(413, "submission body too large")
         try:
             job, accepted = self.service.submit(request.json())
+        except ServiceDraining as error:
+            raise HttpError(503, str(error)) from None
         except (SubmissionError, ValueError) as error:
             raise HttpError(400, str(error)) from None
         view = job.view()
@@ -746,15 +813,78 @@ async def start_server(
 
 
 async def serve_forever(
-    service: SweepService, host: str = "127.0.0.1", port: int = 8731
+    service: SweepService,
+    host: str = "127.0.0.1",
+    port: int = 8731,
+    *,
+    drain_timeout_s: float = 30.0,
 ) -> None:
-    """Run the API server until cancelled (the ``repro serve`` body)."""
+    """Run the API server until SIGTERM/SIGINT, then drain and exit.
+
+    Shutdown sequence (the ``repro serve`` body):
+
+    1. the first SIGTERM or SIGINT flips the service to *draining* --
+       new ``POST /v1/sweeps`` get 503, ``/healthz`` reports
+       ``draining: true`` (so load balancers rotate the node out),
+       readers are unaffected and keep connecting;
+    2. running sweeps are joined for up to ``drain_timeout_s``; each one
+       that settles has persisted its result to the store and flushed
+       its JSONL event sink.  A sweep that outlives the timeout is
+       abandoned to its daemon thread -- its finished points are in the
+       store cache, so resubmitting after restart resumes, not restarts;
+    3. the listener closes and the process exits.
+
+    Signal handlers need the main thread; anywhere else (tests embed
+    via :class:`ServerThread`) this degrades to plain serve-until-
+    cancelled.
+    """
     server = await start_server(service, host=host, port=port)
     sockets = server.sockets or []
     for sock in sockets:
         log.info("serving on http://%s:%s", *sock.getsockname()[:2])
-    async with server:
-        await server.serve_forever()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+
+    def request_stop(signum: int) -> None:
+        log.info("received %s; beginning graceful shutdown", signal.Signals(signum).name)
+        service.begin_drain()
+        stop.set()
+
+    registered: list[int] = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, request_stop, signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            break  # non-main thread or platform without signal support
+        registered.append(signum)
+    try:
+        async with server:
+            if not registered:
+                await server.serve_forever()
+                return
+            serving = asyncio.ensure_future(server.serve_forever())
+            stopping = asyncio.ensure_future(stop.wait())
+            try:
+                await asyncio.wait(
+                    {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+                )
+                # Keep answering requests while draining: submissions
+                # are already refused with 503, but readers and health
+                # checks stay up until the last sweep settles.
+                unfinished = await asyncio.to_thread(service.drain, drain_timeout_s)
+            finally:
+                serving.cancel()
+                stopping.cancel()
+            server.close()
+            await server.wait_closed()
+            if unfinished:
+                log.warning("exiting with %d sweep(s) unfinished: %s",
+                            len(unfinished), ", ".join(sorted(unfinished)))
+            else:
+                log.info("drained cleanly")
+    finally:
+        for signum in registered:
+            loop.remove_signal_handler(signum)
 
 
 class ServerThread:
@@ -807,7 +937,13 @@ class ServerThread:
         loop = self._loop
         if loop is not None and loop.is_running():
             for task in [t for t in asyncio.all_tasks(loop)]:
-                loop.call_soon_threadsafe(task.cancel)
+                try:
+                    loop.call_soon_threadsafe(task.cancel)
+                except RuntimeError:
+                    # Cancelling the serve task ends asyncio.run(),
+                    # which closes the loop while we are still walking
+                    # the task list -- the goal state, not an error.
+                    break
         if self._thread is not None:
             self._thread.join(timeout=10)
 

@@ -342,3 +342,55 @@ class TestStoreCli:
         assert args.port == 9000
         assert args.host == "127.0.0.1"
         assert args.store == ".repro-store"
+
+
+class TestFleetCli:
+    def test_sweep_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--fleet",
+                "--fleet-host",
+                "0.0.0.0",
+                "--fleet-port",
+                "9000",
+                "--fleet-spawn",
+                "0",
+                "--fleet-lease-timeout",
+                "5",
+            ]
+        )
+        assert args.fleet
+        assert args.fleet_host == "0.0.0.0"
+        assert args.fleet_port == 9000
+        assert args.fleet_spawn == 0
+        assert args.fleet_lease_timeout == 5.0
+
+    def test_executor_accepts_fleet(self):
+        args = build_parser().parse_args(["sweep", "--executor", "fleet"])
+        assert args.executor == "fleet"
+
+    def test_worker_flags_parse(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "coord:8731", "--label", "w0", "--no-cache"]
+        )
+        assert args.connect == "coord:8731"
+        assert args.label == "w0"
+        assert args.no_cache
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_rejects_malformed_endpoint(self, capsys):
+        assert main(["worker", "--connect", "nocolon"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert main(["worker", "--connect", "host:notaport"]) == 2
+
+    def test_fleet_conflicts_with_other_executor(self, capsys):
+        assert main(["sweep", "--fleet", "--executor", "process"]) == 2
+        assert "--fleet conflicts" in capsys.readouterr().err
+
+    def test_fleet_conflicts_with_adaptive(self, capsys):
+        assert main(["sweep", "--fleet", "--adaptive"]) == 2
+        assert "--adaptive" in capsys.readouterr().err

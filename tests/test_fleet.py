@@ -1,0 +1,460 @@
+"""Tests of the fleet layer: protocol, lease state machine, clean runs.
+
+The chaos suite (``test_fleet_chaos.py``) proves fault recovery over
+real sockets and SIGKILLed processes; this file pins down everything
+that must hold *before* chaos means anything -- exact wire round-trips,
+the requeue -> split -> quarantine ladder at interactive speed (fake
+clock, no sockets), and digest-identical clean fleet runs with
+exactly-once evaluator-call accounting.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core.execution import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    evaluator_fingerprint,
+    retry_delay_s,
+)
+from repro.core.explorer import DesignSpaceExplorer
+from repro.core.results import Evaluation
+from repro.core.telemetry import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    Telemetry,
+    TelemetrySnapshot,
+)
+from repro.fleet import (
+    FleetOptions,
+    LeaseTable,
+    ProtocolError,
+    protocol,
+    resolve_spec,
+)
+from repro.power.technology import DesignPoint
+from tests.test_parallel_explorer import (
+    ToyEvaluator,
+    assert_sweeps_identical,
+    smoke_grid,
+)
+
+
+def points(n: int, start: int = 0) -> list[tuple[int, DesignPoint]]:
+    return [
+        (i, DesignPoint(n_bits=6 + (i % 6), lna_noise_rms=2e-6))
+        for i in range(start, start + n)
+    ]
+
+
+def rows_for(chunk, value: float = 1.0):
+    return [
+        (index, Evaluation(point, metrics={"m": value}), 0.01, {"retries": 0, "timeouts": 0})
+        for index, point in chunk
+    ]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_table(chunks, **kwargs) -> tuple[LeaseTable, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("lease_timeout_s", 10.0)
+    return LeaseTable(chunks, clock=clock, **kwargs), clock
+
+
+# --- protocol wire round-trips ------------------------------------------------
+
+
+class TestProtocol:
+    def test_chunk_round_trip(self):
+        chunk = points(4)
+        decoded = protocol.decode_chunk(protocol.encode_chunk(chunk))
+        assert [(i, p.describe()) for i, p in decoded] == [
+            (i, p.describe()) for i, p in chunk
+        ]
+
+    def test_chunk_digest_tracks_content(self):
+        chunk = points(3)
+        assert protocol.chunk_digest(chunk) == protocol.chunk_digest(list(chunk))
+        assert protocol.chunk_digest(chunk) != protocol.chunk_digest(chunk[:2])
+        reindexed = [(i + 1, p) for i, p in chunk]
+        assert protocol.chunk_digest(chunk) != protocol.chunk_digest(reindexed)
+
+    def test_rows_round_trip_including_failures(self):
+        chunk = points(2)
+        rows = rows_for(chunk) + [
+            (99, Evaluation(chunk[0][1], metrics={}, error="boom"), 0.0, {}),
+        ]
+        decoded = protocol.decode_rows(protocol.encode_rows(rows))
+        assert decoded[0][0] == chunk[0][0]
+        assert decoded[0][1].metrics == {"m": 1.0}
+        assert decoded[0][2] == pytest.approx(0.01)
+        assert decoded[2][1].error == "boom"
+
+    def test_send_recv_round_trip(self):
+        buffer = io.StringIO()
+        protocol.send_message(buffer, {"type": "request", "n": 3})
+        buffer.seek(0)
+        assert protocol.recv_message(buffer) == {"type": "request", "n": 3}
+        assert protocol.recv_message(buffer) is None  # EOF
+
+    def test_recv_rejects_junk_and_unexpected_types(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            protocol.recv_message(io.StringIO("not json\n"))
+        with pytest.raises(ProtocolError, match="must be an object"):
+            protocol.recv_message(io.StringIO('["a", "list"]\n'))
+        with pytest.raises(ProtocolError, match="unexpected message type"):
+            protocol.recv_message(
+                io.StringIO('{"type": "lease"}\n'), expect=("ack",)
+            )
+
+    def test_malformed_chunk_and_rows_raise(self):
+        with pytest.raises(ProtocolError, match="malformed chunk"):
+            protocol.decode_chunk([{"index": 0}])
+        with pytest.raises(ProtocolError, match="malformed result rows"):
+            protocol.decode_rows([{"index": 0, "elapsed_s": 0.0}])
+
+
+class TestTelemetryWire:
+    def test_snapshot_survives_json_round_trip(self):
+        tel = Telemetry()
+        tel.count("c", 3)
+        tel.record("v", 1.5)
+        tel.record("v", 2.5)
+        with tel.span("s"):
+            pass
+        tel.event("e", detail="x")
+        snapshot = tel.drain_snapshot("w")
+        wire = json.loads(json.dumps(snapshot.to_wire()))
+        rebuilt = TelemetrySnapshot.from_wire(wire)
+        assert rebuilt.to_wire() == snapshot.to_wire()
+        assert rebuilt.counters == snapshot.counters
+        assert rebuilt.values["v"].total == pytest.approx(4.0)
+
+    def test_empty_stats_infinities_survive(self):
+        """A fresh Stats has min=+inf / max=-inf; JSON has no inf."""
+        tel = Telemetry()
+        tel.count("only.counter")
+        snapshot = tel.drain_snapshot("w")
+        wire = json.loads(
+            json.dumps(snapshot.to_wire(), allow_nan=False)
+        )
+        rebuilt = TelemetrySnapshot.from_wire(wire)
+        assert rebuilt.counters == {"only.counter": 1}
+
+
+# --- the lease state machine --------------------------------------------------
+
+
+class TestLeaseTable:
+    def test_grant_complete_done(self):
+        chunk = points(3)
+        table, _clock = make_table([chunk])
+        lease, granted = table.grant("w#1")
+        assert granted == chunk
+        assert lease.n_points == 3
+        fresh, duplicates = table.complete(lease.lease_id, rows_for(chunk))
+        assert len(fresh) == 3 and duplicates == 0
+        assert table.all_done
+        assert table.report.points_completed == 3
+        assert table.grant("w#2") is None
+
+    def test_heartbeat_extends_deadline(self):
+        table, clock = make_table([points(2)], lease_timeout_s=10.0)
+        lease, _ = table.grant("w#1")
+        clock.advance(8.0)
+        assert table.heartbeat(lease.lease_id)
+        clock.advance(8.0)  # 16s since grant, 8s since heartbeat
+        assert table.expire() == []
+        clock.advance(3.0)
+        events = table.expire()
+        assert [e["action"] for e in events] == ["requeue"]
+        assert not table.heartbeat(lease.lease_id)  # lease is gone
+
+    def test_expiry_ladder_requeue_split_quarantine(self):
+        chunk = points(2)
+        table, clock = make_table([chunk], lease_timeout_s=1.0, max_requeues=1)
+
+        lease, _ = table.grant("w#1")
+        clock.advance(2.0)
+        assert [e["action"] for e in table.expire()] == ["requeue"]
+
+        lease, granted = table.grant("w#1")
+        assert granted == chunk  # same chunk back
+        clock.advance(2.0)
+        events = table.expire()
+        assert [e["action"] for e in events] == ["split"]
+        assert table.report.splits == 1
+
+        # Two single-point chunks, each one expiry away from quarantine.
+        quarantined = []
+        for _ in range(2):
+            lease, granted = table.grant("w#2")
+            assert len(granted) == 1
+            clock.advance(2.0)
+            events = table.expire()
+            assert [e["action"] for e in events] == ["quarantine"]
+            quarantined.append(events[0]["index"])
+        assert sorted(quarantined) == [0, 1]
+        assert table.all_done
+        assert table.report.points_quarantined == 2
+        assert "PoisonChunk" in table.report.quarantined[0]["reason"]
+        assert table.report.leases_expired == 4
+
+    def test_late_completion_after_expiry_is_deduplicated(self):
+        chunk = points(3)
+        table, clock = make_table([chunk], lease_timeout_s=1.0)
+        stale, _ = table.grant("w#1")
+        clock.advance(2.0)
+        table.expire()
+
+        fresh_lease, granted = table.grant("w#2")
+        fresh, duplicates = table.complete(fresh_lease.lease_id, rows_for(granted))
+        assert len(fresh) == 3 and duplicates == 0
+
+        # The first worker was slow, not dead: its copy arrives late and
+        # must merge as pure duplicates -- exactly-once per index.
+        late_fresh, late_duplicates = table.complete(stale.lease_id, rows_for(chunk))
+        assert late_fresh == [] and late_duplicates == 3
+        assert table.report.points_completed == 3
+        assert table.report.duplicates_dropped == 3
+
+    def test_partial_overlap_dedups_per_index(self):
+        chunk = points(4)
+        table, clock = make_table([chunk], lease_timeout_s=1.0)
+        stale, _ = table.grant("w#1")
+        clock.advance(2.0)
+        table.expire()
+        # The late copy lands FIRST with half the points...
+        fresh, duplicates = table.complete(stale.lease_id, rows_for(chunk[:2]))
+        assert len(fresh) == 2 and duplicates == 0
+        # ...then the regrant completes everything: only the other half counts.
+        lease, granted = table.grant("w#2")
+        assert [i for i, _ in granted] == [2, 3]  # done indices filtered out
+        fresh, duplicates = table.complete(lease.lease_id, rows_for(granted))
+        assert len(fresh) == 2 and duplicates == 0
+        assert table.all_done
+
+    def test_unknown_lease_completion_rejected(self):
+        table, _clock = make_table([points(1)])
+        with pytest.raises(ProtocolError, match="unknown lease"):
+            table.complete("lease-999999", [])
+
+    def test_release_worker_requeues_only_their_leases(self):
+        table, _clock = make_table([points(2), points(2, start=2)])
+        mine, _ = table.grant("w#1")
+        theirs, theirs_chunk = table.grant("w#2")
+        events = table.release_worker("w#1")
+        assert [e["action"] for e in events] == ["requeue"]
+        assert mine.lease_id not in table.leases
+        assert theirs.lease_id in table.leases
+        table.complete(theirs.lease_id, rows_for(theirs_chunk))
+        lease, granted = table.grant("w#3")
+        assert lease.chunk_id == mine.chunk_id
+
+    def test_reported_failure_requeues(self):
+        table, _clock = make_table([points(2)])
+        lease, _ = table.grant("w#1")
+        events = table.fail(lease.lease_id, "OOM")
+        assert [e["action"] for e in events] == ["requeue"]
+        assert events[0]["reason"] == "worker failure: OOM"
+        assert table.report.worker_failures == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lease_timeout_s"):
+            LeaseTable([points(1)], lease_timeout_s=0.0)
+        with pytest.raises(ValueError, match="max_requeues"):
+            LeaseTable([points(1)], max_requeues=-1)
+
+
+# --- retry backoff jitter (satellite) -----------------------------------------
+
+
+class TestRetryJitter:
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = ExecutionPolicy(retries=3, retry_backoff_s=0.5)
+        point = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+        delays = [retry_delay_s(policy, point, attempt) for attempt in (1, 2, 3)]
+        assert delays == [retry_delay_s(policy, point, a) for a in (1, 2, 3)]
+        for attempt, delay in zip((1, 2, 3), delays):
+            assert 0.0 <= delay <= 0.5 * 2 ** (attempt - 1)
+
+    def test_jitter_decorrelates_points(self):
+        policy = ExecutionPolicy(retries=1, retry_backoff_s=1.0)
+        a = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+        b = DesignPoint(n_bits=6, lna_noise_rms=2e-6)
+        assert retry_delay_s(policy, a, 1) != retry_delay_s(policy, b, 1)
+
+    def test_zero_backoff_stays_zero(self):
+        """The deterministic 0-backoff test path must not start sleeping."""
+        policy = ExecutionPolicy(retries=3, retry_backoff_s=0.0)
+        point = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+        assert retry_delay_s(policy, point, 1) == 0.0
+        assert retry_delay_s(policy, point, 5) == 0.0
+
+    def test_jitter_off_gives_full_ceiling(self):
+        policy = ExecutionPolicy(retries=2, retry_backoff_s=0.25, retry_jitter=False)
+        point = DesignPoint(n_bits=8, lna_noise_rms=2e-6)
+        assert retry_delay_s(policy, point, 1) == 0.25
+        assert retry_delay_s(policy, point, 3) == 1.0
+
+
+# --- evaluator spec resolution ------------------------------------------------
+
+
+def make_toy_evaluator(master_seed: int = 7):
+    """Factory target for the ``callable`` spec kind."""
+    return ToyEvaluator(master_seed=master_seed)
+
+
+class TestResolveSpec:
+    def test_callable_spec(self):
+        evaluator = resolve_spec(
+            {
+                "kind": "callable",
+                "target": "tests.test_fleet:make_toy_evaluator",
+                "args": {"master_seed": 11},
+            }
+        )
+        assert evaluator.fingerprint() == "toy:11"
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            resolve_spec("smoke")
+        with pytest.raises(ValueError, match="unknown evaluator spec kind"):
+            resolve_spec({"kind": "carrier-pigeon"})
+        with pytest.raises(ValueError, match="module:attr"):
+            resolve_spec({"kind": "callable", "target": "no-colon"})
+
+
+# --- clean end-to-end fleet runs ----------------------------------------------
+
+
+class TestFleetExplorer:
+    def test_fleet_matches_serial(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        serial = explorer.explore(space, name="serial")
+        fleet = explorer.explore(
+            space,
+            name="fleet",
+            executor="fleet",
+            fleet=FleetOptions(spawn_workers=3),
+        )
+        assert_sweeps_identical(serial, fleet)
+
+    def test_clean_run_evaluates_each_point_exactly_once(self):
+        tel = Telemetry()
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        result = explorer.explore(
+            space,
+            executor="fleet",
+            fleet=FleetOptions(spawn_workers=3),
+            telemetry=tel,
+        )
+        report = explorer.last_fleet_report
+        assert report is not None
+        assert report.points_total == space.size == len(result)
+        assert report.points_completed == space.size
+        assert report.points_quarantined == 0
+        assert report.duplicates_dropped == 0
+        assert report.requeues == 0
+        # Worker telemetry merges home: total evaluator calls over the
+        # fleet equal the grid size -- nothing re-evaluated, nothing lost.
+        assert tel.counters["fleet.worker.evaluator_calls"] == space.size
+        assert sum(w["points"] for w in report.workers.values()) == space.size
+
+    def test_fair_start_spreads_first_leases(self):
+        """wait_for_workers guarantees every worker at least one chunk.
+
+        Without the gate a fast worker may drain the whole (cheap)
+        queue before its siblings finish connecting -- which is why
+        the chaos suite relies on this property to make its fault
+        injection deterministic.
+        """
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        explorer.explore(
+            space,
+            executor="fleet",
+            fleet=FleetOptions(spawn_workers=3, wait_for_workers=3),
+        )
+        report = explorer.last_fleet_report
+        assert sorted(report.workers) == ["worker-0", "worker-1", "worker-2"]
+        assert all(w["points"] > 0 for w in report.workers.values())
+        assert report.points_completed == space.size
+
+    def test_strict_is_rejected(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        with pytest.raises(ValueError, match="strict=True is unsupported"):
+            explorer.explore(smoke_grid(), executor="fleet", strict=True)
+
+    def test_fleet_options_demand_fleet_executor(self):
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        with pytest.raises(ValueError, match="require executor='fleet'"):
+            explorer.explore(smoke_grid(), fleet=FleetOptions())
+
+    def test_worker_cache_prefills_second_run(self, tmp_path):
+        tel = Telemetry()
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        options = FleetOptions(spawn_workers=2, worker_cache_dir=str(tmp_path))
+        first = explorer.explore(space, executor="fleet", fleet=options)
+        second = explorer.explore(
+            space, executor="fleet", fleet=options, telemetry=tel
+        )
+        assert_sweeps_identical(first, second)
+        assert tel.counters.get("fleet.worker.evaluator_calls", 0) == 0
+        assert tel.counters["fleet.worker.cache_hits"] == space.size
+
+    def test_manifest_carries_fleet_section(self):
+        from repro.experiments.runner import build_run_manifest
+
+        tel = Telemetry()
+        explorer = DesignSpaceExplorer(ToyEvaluator())
+        space = smoke_grid()
+        result = explorer.explore(
+            space,
+            name="fleet-manifest",
+            executor="fleet",
+            fleet=FleetOptions(spawn_workers=2),
+            telemetry=tel,
+        )
+        manifest = build_run_manifest(
+            result, tel, "smoke", executor="fleet", n_workers=2
+        )
+        assert manifest.schema == MANIFEST_SCHEMA_VERSION == 5
+        assert manifest.fleet["points_total"] == space.size
+        assert manifest.fleet["points_completed"] == space.size
+        assert sorted(manifest.fleet["workers"]) == ["worker-0", "worker-1"]
+        rebuilt = RunManifest.from_dict(json.loads(json.dumps(manifest.to_dict())))
+        assert rebuilt.fleet == manifest.fleet
+
+    def test_fingerprint_mismatch_refuses_worker(self):
+        """A worker on the wrong evaluator must refuse, not poison."""
+        from repro.fleet import FleetCoordinator, FleetWorker
+
+        coordinator = FleetCoordinator(
+            evaluator_fingerprint(ToyEvaluator(master_seed=1)),
+            policy=DEFAULT_POLICY,
+        )
+        try:
+            worker = FleetWorker(
+                coordinator.endpoint, ToyEvaluator(master_seed=2), label="wrong"
+            )
+            with pytest.raises(ProtocolError, match="fingerprint mismatch"):
+                worker.run()
+        finally:
+            coordinator.close()

@@ -229,7 +229,7 @@ class TestHttpEndToEnd:
     def test_healthz(self, client):
         response, data = client.request("GET", "/healthz")
         assert response.status == 200
-        assert data == {"ok": True}
+        assert data == {"ok": True, "draining": False}
 
     def test_full_cycle(self, server, service):
         client = Client(server)
@@ -430,3 +430,50 @@ class TestLiveProgressStreaming:
         assert kinds.count("explore.progress") == 4
         assert kinds[-1] == "serve.stream_end"
         client.close()
+
+
+class TestGracefulShutdown:
+    def test_draining_service_refuses_submissions(self, service):
+        from repro.serve import ServiceDraining
+
+        assert not service.draining
+        service.begin_drain()
+        assert service.draining
+        with pytest.raises(ServiceDraining):
+            service.submit({"name": "late"})
+
+    def test_drain_waits_for_running_sweep(self, service):
+        service.evaluator.gate.clear()  # hold the sweep mid-flight
+        service.submit({"name": "slow"})
+        assert service.drain(timeout_s=0.2) == ["slow"]  # still running
+
+        service.evaluator.gate.set()
+        assert service.drain(timeout_s=10.0) == []
+        assert service.jobs["slow"].status == "done"
+
+    def test_drain_with_nothing_running_returns_immediately(self, service):
+        start = time.time()
+        assert service.drain(timeout_s=30.0) == []
+        assert time.time() - start < 5.0
+
+    def test_http_503_and_healthz_while_draining(self, service, client):
+        response, data = client.request("GET", "/healthz")
+        assert response.status == 200 and data["draining"] is False
+
+        service.begin_drain()
+        response, data = client.request("GET", "/healthz")
+        assert response.status == 200 and data["draining"] is True
+
+        response, data = client.request("POST", "/v1/sweeps", body={"name": "x"})
+        assert response.status == 503
+        assert "draining" in data["error"]
+
+        # Readers are unaffected while draining.
+        response, _data = client.request("GET", "/v1/sweeps")
+        assert response.status == 200
+
+    def test_drain_is_idempotent(self, service):
+        service.begin_drain()
+        before = service.telemetry.counters.get("serve.drain")
+        service.begin_drain()
+        assert service.telemetry.counters.get("serve.drain") == before == 1
