@@ -1,0 +1,177 @@
+"""Zero-copy shared-memory transport for process-sharded sweeps.
+
+Pool workers receive the evaluator through pickling (pool initargs under
+the ``spawn``/``forkserver`` start methods, and any future transport
+that serialises it).  For corpus-sized evaluators that means copying the
+full sample stream once per worker: a 500-record EEG corpus is tens of
+megabytes serialised N times.  :class:`SharedArray` replaces the bytes
+with a handle — the driver publishes the array once into a
+``multiprocessing.shared_memory`` segment, the pickle carries only
+``(name, shape, dtype)``, and each worker maps the same physical pages
+read-only.
+
+Lifetime: segments are owned by a :class:`SharedArrayPool` on the
+driver; workers only ever *attach*.  On Python < 3.13 attaching
+registers the segment with the attaching process's ``resource_tracker``
+(which would unlink it when that process exits — bpo-38119), so
+non-owner attachments are explicitly unregistered and the owning pool
+remains the single point of unlink.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+log = logging.getLogger(__name__)
+
+#: Process-lifetime map of attached segments (name -> SharedMemory).
+#: Attachments are cached and never proactively closed: an ndarray view
+#: handed out by :attr:`SharedArray.array` only borrows the mapping (it
+#: does not keep the mmap alive through numpy's buffer protocol), so
+#: closing an attachment while any view exists would leave the view
+#: pointing at unmapped pages.  One mapping per segment per process is
+#: the steady state; the OS reclaims them at process exit.
+_ATTACHMENTS: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment (cached, tracker-neutral).
+
+    On Python < 3.13 attaching registers the segment with this process's
+    ``resource_tracker``, which would unlink it when the process exits
+    (bpo-38119) — lethal when the attacher is a short-lived pool worker
+    and the driver still owns the segment.  Registration is suppressed
+    for the duration of the attach; lifetime stays with the owning
+    :class:`SharedArrayPool`.
+    """
+    with _ATTACH_LOCK:
+        cached = _ATTACHMENTS.get(name)
+        if cached is not None:
+            return cached
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _skip_shared_memory(rname, rtype):  # pragma: no cover - trivial
+            if rtype != "shared_memory":
+                original_register(rname, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHMENTS[name] = shm
+        return shm
+
+
+class SharedArray:
+    """A picklable handle to an ndarray living in shared memory.
+
+    Pickles as ``(name, shape, dtype)``; the receiving process attaches
+    lazily on first :attr:`array` access and gets a *read-only* view of
+    the owner's pages — no bytes cross the process boundary.
+    """
+
+    def __init__(self, name: str, shape: tuple, dtype, *, _shm=None, _owner: bool = False):
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = _shm
+        self._owner = _owner
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedArray":
+        """Publish ``array`` into a fresh owned segment (one copy)."""
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        del view
+        return cls(shm.name, array.shape, array.dtype, _shm=shm, _owner=True)
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only ndarray view over the shared pages (attaches lazily).
+
+        Non-owner attachments go through the process-lifetime cache, so
+        the returned view stays valid even after this handle is dropped
+        (unpickled handles are typically transient while their views
+        live on inside an evaluator).
+        """
+        shm = self._shm if self._shm is not None else _attach(self.name)
+        view = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+        view.flags.writeable = False
+        return view
+
+    def close(self, *, unlink: bool | None = None) -> None:
+        """Release this process's mapping; owners also unlink the segment."""
+        if self._shm is None:
+            return
+        if unlink is None:
+            unlink = self._owner
+        try:
+            self._shm.close()
+            if unlink:
+                self._shm.unlink()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            log.debug("shared-memory cleanup failed for %s", self.name, exc_info=True)
+        self._shm = None
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.shape, self.dtype.str))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArray({self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+class SharedArrayPool:
+    """Owner of the shared segments backing one sweep.
+
+    Context manager: arming an evaluator shares its arrays here, and
+    :meth:`close` (or exiting the ``with`` block) unlinks everything —
+    after the worker pool has shut down, so unlink-after-close is safe
+    on POSIX (pages live until the last mapping drops).
+    """
+
+    def __init__(self) -> None:
+        self._arrays: list[SharedArray] = []
+
+    def share(self, array: np.ndarray) -> SharedArray:
+        shared = SharedArray.create(array)
+        self._arrays.append(shared)
+        return shared
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays)
+
+    def close(self) -> None:
+        for shared in self._arrays:
+            shared.close(unlink=True)
+        self._arrays.clear()
+
+    def __enter__(self) -> "SharedArrayPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def shm_enabled() -> bool:
+    """Shared-memory transport gate (``REPRO_SHM=0`` disables)."""
+    import os
+
+    return os.environ.get("REPRO_SHM", "").strip().lower() not in ("0", "false", "off")

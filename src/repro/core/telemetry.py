@@ -69,7 +69,10 @@ log = logging.getLogger("repro.telemetry")
 #: v5 added ``fleet`` (the distributed-sweep report: per-worker chunk and
 #: evaluator-call attribution, lease grant/expiry/requeue counts,
 #: duplicate-completion drops and quarantined poison chunks).
-MANIFEST_SCHEMA_VERSION = 5
+#: v6 added ``kernels`` (the backend-dispatch record: requested kernel
+#: backend, per-backend availability/exactness, and the per-kernel ledger
+#: of which backend actually ran each kernel including fallbacks).
+MANIFEST_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -738,6 +741,11 @@ class RunManifest:
     #: per-worker attribution, lease/requeue/duplicate accounting and
     #: quarantined poison chunks; empty for single-host runs.
     fleet: dict = field(default_factory=dict)
+    #: Kernel-dispatch record (:meth:`repro.kernels.KernelRegistry.
+    #: manifest_section`): requested backend, per-backend availability
+    #: and exactness contract, and the per-kernel ledger of which
+    #: backend actually ran (fallbacks attributed with a reason).
+    kernels: dict = field(default_factory=dict)
     #: Completion-order progress events (done/total/elapsed/ETA).
     eta_history: list = field(default_factory=list)
     environment: dict = field(default_factory=dict)

@@ -293,32 +293,42 @@ class ChargeSharingEncoder:
                 f"frame length {frames.shape[1]} does not match N_phi={self.matrix.n}"
             )
         n_frames = frames.shape[0]
-        m = self.matrix.m
         cfg = self.config
         pert = self._perturbation
 
         c_hold = cfg.c_hold * (1.0 + pert.hold_errors)  # (m,)
         c_sample = cfg.c_sample * (1.0 + pert.sample_errors)  # (s,)
 
-        v_hold = np.zeros((n_frames, m))
-        last_touch = np.zeros(m)  # sample index of the last share per row
+        # Pre-draw the noise in the original per-column order (one
+        # sample-noise draw, then one share-noise draw, per column) so
+        # the RNG stream — and therefore seeded replay via
+        # ``reset_noise`` — stays bit-identical no matter which kernel
+        # backend runs the accumulation arithmetic below.
         sample_noise = cfg.sample_noise_rms
-        for j in range(self.matrix.n):
-            rows = self._routes[j]  # (s,) destinations of sample j
-            vin = frames[:, j][:, None]  # (n_frames, 1)
-            if sample_noise > 0:
-                vin = vin + self._rng.normal(0.0, sample_noise, size=(n_frames, len(rows)))
-            cs = c_sample[: len(rows)]  # one sampling cap per route slot
-            ch = c_hold[rows]
-            a = cs / (cs + ch)  # (s,)
-            b = ch / (cs + ch)
-            v_hold[:, rows] = b * v_hold[:, rows] + a * vin
-            if cfg.kt > 0:
-                share_noise = np.sqrt(cfg.kt / (cs + ch))
-                v_hold[:, rows] += self._rng.normal(0.0, 1.0, size=(n_frames, len(rows))) * (
-                    share_noise
-                )
-            last_touch[rows] = j
+        s = self._routes.shape[1]
+        n = self.matrix.n
+        sample_draws = (
+            np.empty((n, n_frames, s)) if sample_noise > 0 else None
+        )
+        share_draws = np.empty((n, n_frames, s)) if cfg.kt > 0 else None
+        for j in range(n):
+            if sample_draws is not None:
+                sample_draws[j] = self._rng.normal(0.0, sample_noise, size=(n_frames, s))
+            if share_draws is not None:
+                share_draws[j] = self._rng.normal(0.0, 1.0, size=(n_frames, s))
+
+        from repro.kernels import registry
+
+        v_hold, last_touch = registry.call(
+            "encoder_multiply",
+            frames,
+            self._routes,
+            c_sample,
+            c_hold,
+            cfg.kt,
+            sample_draws,
+            share_draws,
+        )
         if cfg.i_leak > 0:
             # Droop from last accumulation until frame readout at index N.
             hold_time = (self.matrix.n - last_touch) / cfg.f_sample

@@ -15,6 +15,13 @@ sparsifying basis.  Three solvers are implemented from scratch:
 
 :class:`Reconstructor` packages a basis + solver + parameters into the
 object the simulation chain and the explorer consume.
+
+The numeric solver cores live in :mod:`repro.kernels.numpy_backend`
+and are dispatched through the process-global backend registry
+(:data:`repro.kernels.registry`): the functions here validate, time
+and report telemetry, while ``registry.call("fista"|"ista"|"omp", ...)``
+picks the implementation (numpy reference, or an optional
+numba/JAX backend locked to the reference by the conformance suite).
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import registry
 from repro.util.validation import check_positive, check_positive_int
 
 _GET_ACTIVE_TELEMETRY = None
@@ -115,29 +123,14 @@ def omp(
     """
     sparsity = check_positive_int("sparsity", sparsity)
     y = np.asarray(y, dtype=np.float64)
-    m, n = a.shape
+    m, _n = a.shape
     if y.shape != (m,):
         raise ValueError(f"y must have shape ({m},), got {y.shape}")
-    norms = np.linalg.norm(a, axis=0)
-    norms = np.where(norms == 0, 1.0, norms)
-    residual = y.copy()
-    support: list[int] = []
-    y_norm = np.linalg.norm(y)
-    if y_norm == 0:
-        return np.zeros(n)
     start = time.perf_counter()
-    for _ in range(min(sparsity, m)):
-        correlations = np.abs(a.T @ residual) / norms
-        if support:
-            correlations[support] = -np.inf
-        atom = int(np.argmax(correlations))
-        support.append(atom)
-        coeffs = least_squares_on_support(a, y, np.array(support))
-        residual = y - a @ coeffs
-        if tol > 0 and np.linalg.norm(residual) <= tol * y_norm:
-            break
-    _note_solve("omp", len(support), 1, time.perf_counter() - start)
-    return least_squares_on_support(a, y, np.array(support))
+    coeffs, n_selected = registry.call("omp", a, y, sparsity, tol)
+    if n_selected:
+        _note_solve("omp", n_selected, 1, time.perf_counter() - start)
+    return coeffs
 
 
 def _soft_threshold(z: np.ndarray, threshold: float) -> np.ndarray:
@@ -168,23 +161,10 @@ def ista(
     check_positive("lam", lam)
     n_iter = check_positive_int("n_iter", n_iter)
     y2 = np.atleast_2d(np.asarray(y, dtype=np.float64))
-    lipschitz = _lipschitz(a)
-    if lipschitz == 0:
-        out = np.zeros((y2.shape[0], a.shape[1]))
-        return out[0] if np.ndim(y) == 1 else out
-    step = 1.0 / lipschitz
-    z = np.zeros((y2.shape[0], a.shape[1]))
     start = time.perf_counter()
-    iterations = 0
-    for _ in range(n_iter):
-        iterations += 1
-        gradient = (z @ a.T - y2) @ a  # (B, N): (A z - y) A, batched
-        z_next = _soft_threshold(z - step * gradient, lam * step)
-        if np.max(np.abs(z_next - z)) <= tol:
-            z = z_next
-            break
-        z = z_next
-    _note_solve("ista", iterations, y2.shape[0], time.perf_counter() - start)
+    z, iterations = registry.call("ista", a, y2, lam, n_iter, tol)
+    if iterations:
+        _note_solve("ista", iterations, y2.shape[0], time.perf_counter() - start)
     return z[0] if np.ndim(y) == 1 else z
 
 
@@ -227,31 +207,10 @@ def fista(
     b, m = y2.shape
     if m != a.shape[0]:
         raise ValueError(f"y frames have length {m}, expected {a.shape[0]}")
-    n = a.shape[1]
-    lipschitz = _lipschitz(a)
-    if lipschitz == 0:
-        out = np.zeros((b, n))
-        return out[0] if single else out
-    step = 1.0 / lipschitz
-    z = np.zeros((b, n))
-    momentum = z.copy()
-    t = 1.0
-    gram = a.T @ a  # (N, N), precomputed: gradient = momentum @ gram - y A
-    ya = y2 @ a  # (B, N)
     start = time.perf_counter()
-    iterations = 0
-    for _ in range(n_iter):
-        iterations += 1
-        gradient = momentum @ gram - ya
-        z_next = _soft_threshold(momentum - step * gradient, lam * step)
-        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
-        momentum = z_next + ((t - 1.0) / t_next) * (z_next - z)
-        delta = np.max(np.abs(z_next - z))
-        z = z_next
-        t = t_next
-        if delta <= tol:
-            break
-    _note_solve("fista", iterations, b, time.perf_counter() - start)
+    z, iterations = registry.call("fista", a, y2, lam, n_iter, tol)
+    if iterations:
+        _note_solve("fista", iterations, b, time.perf_counter() - start)
     if debias:
         for i in range(b):
             support = np.flatnonzero(z[i])
@@ -350,15 +309,23 @@ class Reconstructor:
         check_positive_int("n_iter", self.n_iter)
 
     def _effective_dictionary(self, phi_eff: np.ndarray) -> np.ndarray:
-        """A = Phi_eff @ Psi, cached by Phi_eff content.
+        """A = Phi_eff @ Psi, cached by Phi_eff content + active backend.
 
         Keyed by a content fingerprint (shape + byte hash), not ``id()``:
         object identity does not survive pickling, so an identity key
         silently misses in every pool worker of a parallel sweep (and can
-        alias when ids are recycled).
+        alias when ids are recycled).  The key also carries the kernel
+        backend that will consume the dictionary: backends may hold
+        backend-specific state for a cached dictionary (device arrays,
+        JIT specialisations), so a mid-process backend swap must miss
+        rather than reuse the other backend's entry.
         """
         phi_eff = np.ascontiguousarray(phi_eff)
-        key = (phi_eff.shape, hashlib.sha1(phi_eff.tobytes()).hexdigest())
+        key = (
+            phi_eff.shape,
+            hashlib.sha1(phi_eff.tobytes()).hexdigest(),
+            registry.active(self.method),
+        )
         cached = self._cache.get(key)
         if cached is None:
             a = phi_eff if self.basis is None else phi_eff @ self.basis

@@ -1,0 +1,32 @@
+"""Multi-backend kernel dispatch for the hot numerical paths.
+
+``registry`` is the process-global :class:`KernelRegistry` the engine
+dispatches through; see :mod:`repro.kernels.registry` for the selection
+rules (env ``REPRO_KERNEL_BACKEND``, CLI ``--kernel-backend``) and the
+exactness/cache-key contract, and :mod:`repro.testing.conformance` for
+the harness that locks every backend to the numpy reference.
+"""
+
+from repro.kernels.registry import (
+    ENV_VAR,
+    KERNEL_NAMES,
+    REFERENCE_BACKEND,
+    KernelBackend,
+    KernelRegistry,
+    UnknownBackendError,
+    build_default_registry,
+)
+
+#: The process-global registry used by all dispatch sites.
+registry = build_default_registry()
+
+__all__ = [
+    "ENV_VAR",
+    "KERNEL_NAMES",
+    "REFERENCE_BACKEND",
+    "KernelBackend",
+    "KernelRegistry",
+    "UnknownBackendError",
+    "build_default_registry",
+    "registry",
+]

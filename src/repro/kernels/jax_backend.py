@@ -1,0 +1,89 @@
+"""Optional JAX backend (stub-able; registered unavailable without jax).
+
+The registry's design goal is that adding an accelerator backend is
+"register + pass the conformance suite".  This module is the worked
+example for a JAX/XLA port: it registers under the name ``jax``, gates
+itself on ``import jax`` (absent in the default container, so it shows
+up in the manifest ``kernels`` section as unavailable with a reason),
+and — when jax *is* importable — provides jitted float64
+implementations of the batched LASSO solvers.
+
+Exactness: documented tolerance (XLA fuses and reorders reductions);
+like the numba backend, activating it qualifies evaluation-cache keys
+with the backend name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Documented agreement tolerance versus the numpy reference.
+RTOL = 1e-5
+
+_JAX: dict | None = None
+
+
+def available() -> tuple[bool, str | None]:
+    try:
+        import jax  # noqa: F401
+    except Exception as exc:  # pragma: no cover - depends on environment
+        return False, f"jax not importable: {type(exc).__name__}: {exc}"
+    return True, None
+
+
+def _jax() -> dict:  # pragma: no cover - requires jax installed
+    global _JAX
+    if _JAX is not None:
+        return _JAX
+    import jax
+
+    jax.config.update("jax_enable_x64", True)
+    import jax.numpy as jnp
+
+    def _soft_threshold(z, threshold):
+        return jnp.sign(z) * jnp.maximum(jnp.abs(z) - threshold, 0.0)
+
+    @jax.jit
+    def _fista_steps(a, y2, lam, n_iter):
+        lipschitz = jnp.linalg.norm(a, ord=2) ** 2
+        step = jnp.where(lipschitz > 0, 1.0 / jnp.where(lipschitz > 0, lipschitz, 1.0), 0.0)
+        gram = a.T @ a
+        ya = y2 @ a
+
+        def body(carry, _):
+            z, momentum, t = carry
+            gradient = momentum @ gram - ya
+            z_next = _soft_threshold(momentum - step * gradient, lam * step)
+            t_next = 0.5 * (1.0 + jnp.sqrt(1.0 + 4.0 * t * t))
+            momentum = z_next + ((t - 1.0) / t_next) * (z_next - z)
+            return (z_next, momentum, t_next), None
+
+        z0 = jnp.zeros((y2.shape[0], a.shape[1]))
+        (z, _, _), _ = jax.lax.scan(body, (z0, z0, 1.0), None, length=n_iter)
+        return z
+
+    _JAX = {"fista_steps": _fista_steps, "jnp": jnp}
+    return _JAX
+
+
+def fista(a, y2, lam, n_iter, tol):  # pragma: no cover - requires jax
+    del tol  # fixed-length scan: no early exit (tolerance-backend contract)
+    impl = _jax()
+    z = impl["fista_steps"](
+        np.asarray(a, dtype=np.float64), np.asarray(y2, dtype=np.float64), float(lam), int(n_iter)
+    )
+    return np.asarray(z), int(n_iter)
+
+
+def make_backend():
+    from repro.kernels.registry import KernelBackend
+
+    ok, reason = available()
+    return KernelBackend(
+        name="jax",
+        kernels={"fista": fista} if ok else {},
+        exact=False,
+        rtol=RTOL,
+        available=ok,
+        unavailable_reason=reason,
+    )

@@ -1,0 +1,282 @@
+"""Backend-conformance suite: every kernel backend locked to the reference.
+
+Three layers of enforcement:
+
+* the deterministic problem suite in :mod:`repro.testing.conformance`
+  (representative + degenerate inputs) runs against every available
+  accelerated backend;
+* Hypothesis extends it with random shapes, dtypes and degenerate
+  values, re-using the same comparison driver;
+* the fig7a golden replays end-to-end under each backend, so agreement
+  is checked through the real evaluation chain, not just per kernel.
+
+On machines without numba/jax the accelerated legs skip (there is
+nothing to conform — dispatch falls back) and the harness itself is
+validated against deliberately broken fake backends instead.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    REFERENCE_BACKEND,
+    KernelBackend,
+    KernelRegistry,
+    registry,
+)
+from repro.kernels import numpy_backend
+from repro.testing.conformance import (
+    Problem,
+    check_backend,
+    check_kernel,
+    conformant_backends,
+    default_problems,
+    encoder_problems,
+    golden_replay,
+    solver_problems,
+)
+
+ACCELERATED = conformant_backends()
+
+
+def accelerated_or_skip():
+    if not ACCELERATED:
+        pytest.skip("no accelerated kernel backend installed (numba/jax)")
+    return ACCELERATED
+
+
+# --- deterministic suite ----------------------------------------------------
+
+
+class TestProblemSuite:
+    def test_covers_all_dispatched_solvers(self):
+        kernels = {p.kernel for p in default_problems()}
+        assert kernels == {"fista", "ista", "omp", "encoder_multiply"}
+
+    def test_degenerate_cases_present(self):
+        names = {p.name for p in solver_problems()}
+        for expected in (
+            "fista:zero_measurements",
+            "fista:zero_operator",
+            "fista:single_atom",
+            "fista:non_finite_measurements",
+            "omp:zero_measurements",
+            "omp:sparsity_exceeds_rows",
+        ):
+            assert expected in names
+        assert "encoder_multiply:noiseless" in {p.name for p in encoder_problems()}
+
+    def test_suite_is_deterministic(self):
+        a = solver_problems(seed=7)
+        b = solver_problems(seed=7)
+        for pa, pb in zip(a, b):
+            assert pa.name == pb.name
+            for xa, xb in zip(pa.args, pb.args):
+                if isinstance(xa, np.ndarray):
+                    np.testing.assert_array_equal(xa, xb)
+
+    def test_reference_conforms_to_itself(self):
+        assert check_backend(REFERENCE_BACKEND) == []
+
+
+@pytest.mark.parametrize("backend_name", ACCELERATED or ["<none>"])
+class TestAcceleratedBackends:
+    def test_deterministic_suite(self, backend_name):
+        accelerated_or_skip()
+        mismatches = check_backend(backend_name)
+        assert mismatches == [], "\n".join(mismatches)
+
+    def test_golden_replay(self, backend_name):
+        accelerated_or_skip()
+        mismatches = golden_replay(backend_name)
+        assert mismatches == [], "\n".join(mismatches)
+
+
+def test_golden_replay_reference_backend():
+    """The golden replays bit-identically through the dispatch layer."""
+    assert golden_replay(REFERENCE_BACKEND) == []
+
+
+# --- Hypothesis: random problems against every available backend ------------
+
+#: Modest bounds keep each case fast; Hypothesis explores the corners.
+_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _check_on_all_backends(problem: Problem) -> None:
+    for backend_name in ACCELERATED or [REFERENCE_BACKEND]:
+        mismatches = check_kernel(backend_name, problem)
+        assert mismatches == [], "\n".join(mismatches)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=_seeds,
+    m=st.integers(1, 24),
+    n=st.integers(1, 32),
+    batch=st.integers(1, 4),
+    lam=st.floats(1e-6, 1.0),
+    n_iter=st.integers(1, 80),
+    dtype=st.sampled_from([np.float64, np.float32]),
+    kernel=st.sampled_from(["fista", "ista"]),
+)
+def test_lasso_solvers_conform_on_random_problems(
+    seed, m, n, batch, lam, n_iter, dtype, kernel
+):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, n)).astype(dtype)
+    y2 = rng.normal(size=(batch, m)).astype(dtype)
+    problem = Problem(f"{kernel}:hypothesis", kernel, (a, y2, lam, n_iter, 1e-9))
+    _check_on_all_backends(problem)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=_seeds,
+    m=st.integers(1, 24),
+    n=st.integers(1, 32),
+    sparsity=st.integers(1, 10),
+    zero_y=st.booleans(),
+)
+def test_omp_conforms_on_random_problems(seed, m, n, sparsity, zero_y):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, n))
+    y = np.zeros(m) if zero_y else rng.normal(size=m)
+    _check_on_all_backends(Problem("omp:hypothesis", "omp", (a, y, sparsity, 0.0)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=_seeds,
+    n=st.integers(2, 32),
+    m=st.integers(2, 12),
+    n_frames=st.integers(1, 4),
+    noisy=st.booleans(),
+)
+def test_encoder_multiply_conforms_on_random_problems(seed, n, m, n_frames, noisy):
+    rng = np.random.default_rng(seed)
+    s = min(2, m)
+    routes = np.stack(
+        [np.sort(rng.choice(m, size=s, replace=False)) for _ in range(n)]
+    ).astype(np.int64)
+    frames = rng.normal(size=(n_frames, n))
+    c_sample = np.full(s, 1e-14)
+    c_hold = np.full(m, 8e-14)
+    sample_draws = rng.normal(size=(n, n_frames, s)) * 1e-4 if noisy else None
+    share_draws = rng.normal(size=(n, n_frames, s)) if noisy else None
+    kt = 4.14e-21 if noisy else 0.0
+    _check_on_all_backends(
+        Problem(
+            "encoder_multiply:hypothesis",
+            "encoder_multiply",
+            (frames, routes, c_sample, c_hold, kt, sample_draws, share_draws),
+        )
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=_seeds, m=st.integers(2, 12), n=st.integers(2, 24))
+def test_solvers_conform_with_nonfinite_measurements(seed, m, n):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, n))
+    y2 = rng.normal(size=(2, m))
+    y2[0, 0] = np.nan
+    y2[1, -1] = np.inf
+    for kernel in ("fista", "ista"):
+        _check_on_all_backends(
+            Problem(f"{kernel}:nonfinite", kernel, (a, y2, 0.05, 8, 1e-9))
+        )
+
+
+# --- the harness itself must catch broken backends --------------------------
+
+
+class TestHarnessCatchesBrokenBackends:
+    def _registry_with(self, backend: KernelBackend) -> KernelRegistry:
+        reg = KernelRegistry()
+        reg.register(numpy_backend.make_backend())
+        reg.register(backend)
+        return reg
+
+    def test_flags_wrong_values_from_exact_backend(self):
+        def off_by_eps(a, y2, lam, n_iter, tol):
+            z, iters = numpy_backend.fista(a, y2, lam, n_iter, tol)
+            return z + 1e-12, iters
+
+        reg = self._registry_with(
+            KernelBackend(name="liar", kernels={"fista": off_by_eps}, exact=True)
+        )
+        problems = [p for p in solver_problems() if p.kernel == "fista"]
+        mismatches = check_backend("liar", problems=problems, registry=reg)
+        assert any("not bit-identical" in m for m in mismatches)
+
+    def test_flags_tolerance_violations(self):
+        def way_off(a, y2, lam, n_iter, tol):
+            z, iters = numpy_backend.fista(a, y2, lam, n_iter, tol)
+            return z + 1.0, iters
+
+        reg = self._registry_with(
+            KernelBackend(name="sloppy", kernels={"fista": way_off}, rtol=1e-6)
+        )
+        problems = [p for p in solver_problems() if p.kernel == "fista"]
+        mismatches = check_backend("sloppy", problems=problems, registry=reg)
+        assert any("exceeds rtol" in m for m in mismatches)
+
+    def test_flags_raising_backend_as_failure_not_fallback(self):
+        def explodes(a, y2, lam, n_iter, tol):
+            raise FloatingPointError("jit miscompiled")
+
+        reg = self._registry_with(
+            KernelBackend(name="bomb", kernels={"fista": explodes}, rtol=1e-6)
+        )
+        problems = [p for p in solver_problems() if p.kernel == "fista"]
+        mismatches = check_backend("bomb", problems=problems, registry=reg)
+        assert mismatches and all("FloatingPointError" in m for m in mismatches)
+
+    def test_flags_wrong_shapes(self):
+        def truncated(a, y, sparsity, tol):
+            coeffs, n_sel = numpy_backend.omp(a, y, sparsity, tol)
+            return coeffs[:-1], n_sel
+
+        reg = self._registry_with(
+            KernelBackend(name="short", kernels={"omp": truncated}, exact=True)
+        )
+        problems = [p for p in solver_problems() if p.kernel == "omp"]
+        mismatches = check_backend("short", problems=problems, registry=reg)
+        assert any("shape" in m for m in mismatches)
+
+    def test_unimplemented_kernels_are_not_failures(self):
+        reg = self._registry_with(KernelBackend(name="empty", kernels={}, rtol=1e-6))
+        assert check_backend("empty", registry=reg) == []
+
+    def test_unavailable_backends_are_not_failures(self):
+        reg = self._registry_with(
+            KernelBackend(name="ghost", kernels={}, available=False)
+        )
+        assert check_backend("ghost", registry=reg) == []
+
+
+# --- fallback dispatch stays correct -----------------------------------------
+
+
+def test_dispatch_falls_back_when_backend_missing(monkeypatch):
+    """Requesting an uninstalled backend degrades to reference numbers."""
+    a = np.random.default_rng(0).normal(size=(8, 16))
+    y2 = np.random.default_rng(1).normal(size=(2, 8))
+    reference, _ = registry.call("fista", a, y2, 0.05, 30, 1e-9)
+    ghost = KernelBackend(
+        name="ghost-accel", kernels={}, available=False, unavailable_reason="not installed"
+    )
+    registry.register(ghost)
+    try:
+        with registry.use_backend("ghost-accel"):
+            got, _ = registry.call("fista", a, y2, 0.05, 30, 1e-9)
+            usage = registry.usage()["fista"]
+            assert usage["backend"] == REFERENCE_BACKEND
+            assert usage["requested"] == "ghost-accel"
+            assert "not installed" in usage["fallback_reason"]
+    finally:
+        registry.unregister("ghost-accel")
+    np.testing.assert_array_equal(got, reference)
