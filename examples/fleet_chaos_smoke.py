@@ -13,11 +13,18 @@ the fault-tolerance contract:
 3. no point was quarantined as poison (the faults are environmental,
    not evaluator bugs);
 4. the lease-event trail (``fleet.lease`` grant/requeue/complete
-   actions) lands in the ``--events-out`` JSONL for post-mortems.
+   actions) lands in the ``--events-out`` JSONL for post-mortems;
+5. with ``--trace-out``, the merged Chrome trace carries at least two
+   clock-aligned ``worker-*`` lanes next to the driver's (distributed
+   tracing crossed the wire);
+6. with ``--flight-dir``, the killed/silenced worker left a
+   ``flight-*.json`` crash artifact behind.
 
 Used as the CI chaos smoke test::
 
-    PYTHONPATH=src python examples/fleet_chaos_smoke.py --events-out fleet-events.jsonl
+    PYTHONPATH=src python examples/fleet_chaos_smoke.py \
+        --events-out fleet-events.jsonl \
+        --trace-out fleet-trace.json --flight-dir flight
 
 Exits non-zero (assertion) on any contract violation.
 """
@@ -26,11 +33,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 
 from repro.core.explorer import DesignSpaceExplorer
 from repro.core.metrics import JsonlEventWriter
 from repro.core.telemetry import Telemetry
+from repro.core.tracing import Tracer, chrome_trace
 from repro.experiments.runner import make_harness, search_space_for
 from repro.fleet import ChaosPlan, FleetOptions
 
@@ -48,7 +58,12 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="smoke")
     parser.add_argument("--workers", type=int, default=3)
     parser.add_argument("--events-out", default=None, metavar="PATH")
+    parser.add_argument("--trace-out", default=None, metavar="PATH")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR")
     args = parser.parse_args(argv)
+    if args.flight_dir:
+        # Workers inherit the environment, so their dumps land here too.
+        os.environ["REPRO_FLIGHT_DIR"] = args.flight_dir
 
     harness = make_harness(args.scale)
     space = search_space_for(args.scale)
@@ -58,7 +73,8 @@ def main(argv=None) -> int:
     print(f"serial baseline done ({len(serial)} points)")
 
     sink = JsonlEventWriter(args.events_out) if args.events_out else None
-    telemetry = Telemetry(event_sink=sink)
+    tracer = Tracer(label="driver") if args.trace_out else None
+    telemetry = Telemetry(event_sink=sink, tracer=tracer)
     explorer = DesignSpaceExplorer(harness.evaluator)
     try:
         result = explorer.explore(
@@ -109,6 +125,31 @@ def main(argv=None) -> int:
                     actions.add(event["action"])
         print(f"lease-event trail in {args.events_out}: actions={sorted(actions)}")
         assert {"grant", "complete"} <= actions, actions
+
+    if args.trace_out:
+        trace = chrome_trace(tracer.snapshot())
+        Path(args.trace_out).write_text(json.dumps(trace, indent=1) + "\n")
+        lanes = sorted(
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        )
+        workers = [lane for lane in lanes if lane.startswith("worker-")]
+        spans = sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+        print(f"merged trace in {args.trace_out}: {spans} spans, lanes={lanes}")
+        assert len(workers) >= 2, (
+            f"expected >=2 worker lanes in the merged trace, got {lanes}"
+        )
+        offsets = tracer.summary().get("clock_offsets", {})
+        print(f"handshake clock offsets (s): {offsets}")
+
+    if args.flight_dir:
+        dumps = sorted(Path(args.flight_dir).glob("flight-*.json"))
+        triggers = [json.loads(p.read_text())["trigger"] for p in dumps]
+        print(f"flight artifacts in {args.flight_dir}: {triggers}")
+        assert "fleet-worker-lost" in triggers, (
+            "the killed worker left no flight-recorder artifact"
+        )
 
     print("fleet chaos smoke test passed")
     return 0

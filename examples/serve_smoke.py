@@ -7,7 +7,12 @@ stdlib, and asserts the contract at each step:
 2. submit a smoke-scale sweep and stream its progress events;
 3. query the Pareto front and capture the ``ETag``;
 4. revalidate with ``If-None-Match`` and require ``304 Not Modified``;
-5. resubmit the identical sweep and require it served from the store.
+5. resubmit the identical sweep and require it served from the store;
+6. fetch the sweep's Chrome trace artifact from ``/v1/sweeps/<n>/trace``;
+7. scrape ``GET /metrics`` and validate the OpenMetrics exposition:
+   correct content type, ``# EOF`` terminator, at least one counter
+   family and one per-route request-latency histogram family whose
+   cumulative buckets are monotone and end in ``le="+Inf"``.
 
 Used as the CI service smoke test::
 
@@ -53,11 +58,31 @@ def post_json(base: str, path: str, payload: dict):
         return response.status, json.loads(response.read())
 
 
+def validate_openmetrics(body: str) -> dict[str, str]:
+    """Parse an OpenMetrics exposition into ``{family: type}``, asserting
+    the structural invariants a Prometheus scraper relies on."""
+    assert body.endswith("# EOF\n"), "missing OpenMetrics # EOF terminator"
+    families: dict[str, str] = {}
+    bucket_runs: dict[str, list[int]] = {}
+    for line in body.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            families[name] = kind
+        elif "_bucket{" in line:
+            name = line.split("_bucket{", 1)[0]
+            bucket_runs.setdefault(name, []).append(int(line.rsplit(" ", 1)[1]))
+    for name, counts in bucket_runs.items():
+        assert counts == sorted(counts), f"non-cumulative buckets in {name}"
+    assert 'le="+Inf"' in body, "histograms must end in a +Inf bucket"
+    return families
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8731)
     parser.add_argument("--scale", default="smoke")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH")
     args = parser.parse_args(argv)
     base = f"http://{args.host}:{args.port}"
 
@@ -99,6 +124,31 @@ def main(argv=None) -> int:
     status, resubmitted = post_json(base, "/v1/sweeps", {"scale": args.scale})
     print(f"resubmit: HTTP {status}, from_store={resubmitted['from_store']}")
     assert status == 200 and resubmitted["from_store"] is True, resubmitted
+
+    status, _headers, trace = get_json(base, f"/v1/sweeps/{name}/trace")
+    spans = sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+    print(f"sweep trace artifact: {spans} spans")
+    assert status == 200 and spans > 0, "sweep trace artifact missing or empty"
+
+    with urllib.request.urlopen(base + "/metrics", timeout=60) as response:
+        content_type = response.headers["Content-Type"]
+        body = response.read().decode()
+    assert content_type.startswith("application/openmetrics-text"), content_type
+    families = validate_openmetrics(body)
+    counters = [n for n, kind in families.items() if kind == "counter"]
+    histograms = [n for n, kind in families.items() if kind == "histogram"]
+    print(
+        f"/metrics: {len(families)} families "
+        f"({len(counters)} counters, {len(histograms)} histograms)"
+    )
+    assert "repro_serve_requests" in counters, counters
+    assert any(n.startswith("repro_serve_request_seconds") for n in histograms), (
+        "no per-route request-latency histogram family exposed"
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(body)
+        print(f"exposition saved to {args.metrics_out}")
 
     print("service smoke test passed")
     return 0

@@ -18,7 +18,13 @@ Gives the paper's workflow a shell entry point:
 * ``worker`` -- join a fleet sweep as a remote worker
   (``repro worker --connect HOST:PORT``); the coordinator side is
   ``repro sweep --fleet`` (see :mod:`repro.fleet` and
-  ``docs/distributed.md``).
+  ``docs/distributed.md``);
+* ``serve`` -- run the sweep-as-a-service HTTP API; always exposes a
+  live ``GET /metrics`` OpenMetrics surface and an enriched
+  ``/healthz`` (uptime, sweep counts, store size, drain state);
+* ``trace merge`` -- combine Chrome-trace JSON files (e.g. per-host
+  ``--trace`` outputs) into one multi-lane timeline; ``--align``
+  compensates unsynchronised capture clocks.
 
 Every command prints plain text (ASCII charts included), suitable for
 logs and CI artefacts.
@@ -451,23 +457,33 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import logging as _logging
 
-    from repro.core.telemetry import get_active
+    from repro.core.resources import ResourceSampler
+    from repro.core.telemetry import Telemetry, get_active
     from repro.serve import SweepService, serve_forever
     from repro.store import ResultStore
 
+    # A service without telemetry has an empty /metrics surface, so the
+    # server always runs with a live sink even when --profile is off
+    # (the ambient one when profiling, a private one otherwise).
+    telemetry = get_active()
+    if not telemetry.enabled:
+        telemetry = Telemetry(logger=_logging.getLogger("repro.serve"))
     store = ResultStore(args.store)
-    service = SweepService(store, telemetry=get_active())
+    service = SweepService(store, telemetry=telemetry)
+    sampler = ResourceSampler(telemetry, label="serve")
     print(f"serving sweeps from {store.root} on http://{args.host}:{args.port}")
     try:
-        asyncio.run(
-            serve_forever(
-                service,
-                host=args.host,
-                port=args.port,
-                drain_timeout_s=args.drain_timeout,
+        with sampler:
+            asyncio.run(
+                serve_forever(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    drain_timeout_s=args.drain_timeout,
+                )
             )
-        )
     except KeyboardInterrupt:
         # Platforms where asyncio signal handlers are unavailable fall
         # back to the raw interrupt; drain what we can before exiting.
@@ -519,6 +535,38 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"removed {len(removed)} unreferenced evaluation blob(s)")
         return 0
     raise AssertionError(f"unhandled store action {args.action!r}")  # pragma: no cover
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.tracing import merge_chrome_traces
+
+    if args.action == "merge":
+        payloads = []
+        for path in args.inputs:
+            try:
+                payloads.append(json.loads(Path(path).read_text()))
+            except (OSError, ValueError) as error:
+                print(f"error: cannot read trace {path}: {error}", file=sys.stderr)
+                return 2
+        try:
+            merged = merge_chrome_traces(payloads, align=args.align)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(merged, indent=1) + "\n")
+        events = merged["traceEvents"]
+        lanes = {event["pid"] for event in events}
+        print(
+            f"merged {len(payloads)} trace(s) into {out}: "
+            f"{len(events)} events across {len(lanes)} lane(s)"
+        )
+        return 0
+    raise AssertionError(f"unhandled trace action {args.action!r}")  # pragma: no cover
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -872,6 +920,30 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[store_common],
     )
     store.set_defaults(func=_cmd_store)
+
+    trace = sub.add_parser(
+        "trace",
+        help="work with Chrome-trace/Perfetto JSON trace artifacts",
+        parents=[common],
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    trace_merge = trace_sub.add_parser(
+        "merge",
+        help="merge Chrome-trace JSON files into one multi-lane timeline",
+    )
+    trace_merge.add_argument(
+        "inputs", nargs="+", metavar="TRACE", help="input Chrome-trace JSON files"
+    )
+    trace_merge.add_argument(
+        "-o", "--output", required=True, metavar="FILE", help="merged trace path"
+    )
+    trace_merge.add_argument(
+        "--align",
+        action="store_true",
+        help="shift each input so its earliest event lines up with the "
+        "first input's (for traces captured on unsynchronised clocks)",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

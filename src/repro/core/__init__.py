@@ -50,7 +50,9 @@ from repro.core.serialization import (
     load_result,
     save_result,
 )
+from repro.core.flight import FlightRecorder
 from repro.core.metrics import Histogram, JsonlEventWriter, write_openmetrics
+from repro.core.resources import ResourceSampler, resources_section, sample_resources
 from repro.core.signal import DOMAINS, Signal
 from repro.core.simulator import SimulationResult, Simulator
 from repro.core.system import SystemGraph, SystemModel
@@ -64,7 +66,7 @@ from repro.core.telemetry import (
     get_active,
     set_active,
 )
-from repro.core.tracing import Tracer, write_chrome_trace
+from repro.core.tracing import Tracer, merge_chrome_traces, write_chrome_trace
 
 __all__ = [
     "AdaptiveExplorationResult",
@@ -81,6 +83,7 @@ __all__ = [
     "ExplorationResult",
     "FidelityRung",
     "FidelitySchedule",
+    "FlightRecorder",
     "FrontEndEvaluator",
     "FunctionBlock",
     "Goal",
@@ -97,6 +100,7 @@ __all__ = [
     "PassthroughBlock",
     "PointEvaluationError",
     "PromotionLedger",
+    "ResourceSampler",
     "RungReport",
     "SWEEPABLE_FIELDS",
     "SimulationContext",
@@ -122,7 +126,10 @@ __all__ = [
     "save_result",
     "dominates",
     "epsilon_nondominated",
+    "merge_chrome_traces",
     "pareto_front",
+    "resources_section",
+    "sample_resources",
     "snr_power_goal",
     "write_chrome_trace",
     "write_openmetrics",

@@ -42,6 +42,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core import flight
 from repro.core.results import Evaluation
 from repro.core.serialization import evaluation_from_dict, evaluation_to_dict
 from repro.core.telemetry import (
@@ -222,6 +223,18 @@ def _evaluate_with_policy(
             return _call_with_timeout(evaluator, point, policy.timeout_s), stats
         except EvaluationTimeout as error:
             stats["timeouts"] += 1
+            # A timed-out point is exactly the moment a postmortem wants
+            # the recent event trail: dump the flight-recorder ring.
+            flight.record(
+                "point.timeout", point=point.describe(), timeout_s=policy.timeout_s
+            )
+            flight.dump(
+                "point-timeout",
+                detail=str(error),
+                point=point.describe(),
+                timeout_s=policy.timeout_s,
+                attempt=attempt,
+            )
             failure: Exception = error
             retryable = policy.retry_timeouts
         except Exception as error:  # noqa: BLE001 - the isolation boundary

@@ -52,6 +52,8 @@ from repro.core.execution import (
     evaluate_one_timed,
     evaluator_fingerprint,
 )
+from repro.core import flight
+from repro.core.resources import ResourceSampler
 from repro.core.shm import SharedArrayPool, shm_enabled
 from repro.kernels import registry as kernel_registry
 from repro.core.telemetry import Telemetry, activate, get_active
@@ -578,7 +580,13 @@ class DesignSpaceExplorer:
                         exc_info=True,
                     )
 
+        # Sample driver RSS/CPU/threads for the sweep's duration so the
+        # manifest's `resources` section covers the coordinating process
+        # (fleet workers run their own samplers).
+        sampler = ResourceSampler(tel, label="driver") if tel.enabled else None
         try:
+            if sampler is not None:
+                sampler.start()
             # Install `tel` as the ambient sink for the sweep's duration:
             # the serial and in-process batched paths then feed the
             # simulator/solver instrumentation (block spans, FISTA
@@ -662,6 +670,8 @@ class DesignSpaceExplorer:
                                 "point was evaluated",
                             )
         finally:
+            if sampler is not None:
+                sampler.stop()
             if ckpt is not None:
                 ckpt.close()
         return ExplorationResult(results, name=name)
@@ -1031,6 +1041,11 @@ class DesignSpaceExplorer:
                         raise
                     breaks += 1
                     tel.count("explore.pool_restarts")
+                    flight.record(
+                        "explore.pool_break",
+                        breaks=breaks,
+                        unfinished_chunks=len(remaining),
+                    )
                     log.warning(
                         "process pool broke (a worker died); restarting and "
                         "re-dispatching %d unfinished chunk(s) [break #%d]",
@@ -1091,6 +1106,14 @@ class DesignSpaceExplorer:
                 index, point = queue.pop(0)
                 tel.count("explore.pool_restarts")
                 tel.count("explore.worker_crashes")
+                # The culprit is now known exactly: dump the flight ring
+                # so the postmortem carries the events leading up to it.
+                flight.dump(
+                    "pool-crash",
+                    detail="worker process died while evaluating this point",
+                    index=index,
+                    point=point.describe(),
+                )
                 log.warning(
                     "worker process died evaluating point %d (%s); recorded as "
                     "a failed evaluation",

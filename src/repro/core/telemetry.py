@@ -54,6 +54,7 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.core import flight
 from repro.core.metrics import Histogram
 
 log = logging.getLogger("repro.telemetry")
@@ -72,7 +73,10 @@ log = logging.getLogger("repro.telemetry")
 #: v6 added ``kernels`` (the backend-dispatch record: requested kernel
 #: backend, per-backend availability/exactness, and the per-kernel ledger
 #: of which backend actually ran each kernel including fallbacks).
-MANIFEST_SCHEMA_VERSION = 6
+#: v7 added ``resources`` (RSS/CPU/thread sampling with per-worker
+#: attribution) and the trace-merge bookkeeping in ``trace``
+#: (per-lane clock offsets and dropped-event counts).
+MANIFEST_SCHEMA_VERSION = 7
 
 
 @dataclass
@@ -314,7 +318,12 @@ class Telemetry:
             self.tracer.instant(name, **args)
 
     def event(self, kind: str, **fields) -> None:
-        """Append one structured event (bounded; see ``max_events``)."""
+        """Append one structured event (bounded; see ``max_events``).
+
+        Every event is also filed on the crash flight-recorder ring
+        (:mod:`repro.core.flight`), so a postmortem dump carries the
+        recent structured trail regardless of sinks.
+        """
         payload = {"kind": kind, "t_unix": time.time(), **fields}
         with self._lock:
             if len(self.events) < self.max_events:
@@ -323,6 +332,7 @@ class Telemetry:
                 self.counters["telemetry.events_dropped"] = (
                     self.counters.get("telemetry.events_dropped", 0) + 1
                 )
+        flight.get_recorder().note(payload)
         if self.event_sink is not None:
             try:
                 self.event_sink(payload)
@@ -416,6 +426,18 @@ class Telemetry:
                     digest["span_seconds"][name] = (
                         digest["span_seconds"].get(name, 0.0) + stats.total
                     )
+                for name, stats in snapshot.values.items():
+                    # Resource samples keep per-worker attribution: a fleet
+                    # manifest can name the worker that was swapping.
+                    if not name.startswith("resources.") or not stats.count:
+                        continue
+                    entry = digest.setdefault("resources", {}).setdefault(
+                        name, {"count": 0, "mean": 0.0, "max": -math.inf}
+                    )
+                    total = entry["mean"] * entry["count"] + stats.total
+                    entry["count"] += stats.count
+                    entry["mean"] = total / entry["count"]
+                    entry["max"] = max(entry["max"], stats.max)
         if self.tracer is not None and snapshot.trace is not None:
             self.tracer.absorb(snapshot.trace)
 
@@ -437,6 +459,16 @@ class Telemetry:
                         "counters": dict(digest["counters"]),
                         "span_seconds": dict(digest["span_seconds"]),
                         "merges": digest["merges"],
+                        **(
+                            {
+                                "resources": {
+                                    name: dict(entry)
+                                    for name, entry in digest["resources"].items()
+                                }
+                            }
+                            if digest.get("resources")
+                            else {}
+                        ),
                     }
                     for label, digest in self.workers.items()
                 },
@@ -725,9 +757,16 @@ class RunManifest:
     #: Robustness accounting: fault/retry/timeout counters and, for yield
     #: runs, the severity grid, clean references and yield curves.
     robustness: dict = field(default_factory=dict)
-    #: Hierarchical-trace digest: event/drop counts and the pid -> label
-    #: lane table (the trace bodies live in the ``--trace`` JSON file).
+    #: Hierarchical-trace digest: event/drop counts, the pid -> label
+    #: lane table, and the trace-merge bookkeeping (per-lane clock
+    #: offsets and dropped-event counts); trace bodies live in the
+    #: ``--trace`` JSON file.
     trace: dict = field(default_factory=dict)
+    #: Resource-sampling digest (:func:`repro.core.resources.
+    #: resources_section`): RSS/CPU/thread histograms and value stats,
+    #: plus the per-worker resource attribution; empty when sampling
+    #: never ran.
+    resources: dict = field(default_factory=dict)
     #: Per-worker attribution: label -> counters and span-second totals
     #: merged from that worker's telemetry snapshots.
     workers: dict = field(default_factory=dict)

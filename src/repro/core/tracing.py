@@ -26,7 +26,12 @@ Timestamps: events are recorded with ``time.perf_counter()`` (monotonic,
 sub-microsecond) and exported on an epoch-aligned axis by anchoring each
 tracer's perf-counter origin to ``time.time()`` once at construction.
 Lanes from different processes therefore line up to wall-clock accuracy,
-which on one machine is far below a design-point evaluation.
+which on one machine is far below a design-point evaluation.  For lanes
+from *other machines* the wall clocks themselves may disagree: a remote
+tracer carries a ``clock_offset_s`` (measured by the fleet handshake,
+NTP-style) that :meth:`Tracer.absorb` adds to every absorbed timestamp,
+and the per-lane offsets are reported in :meth:`Tracer.summary` so the
+manifest records how far each worker's clock was skewed.
 
 Stdlib-only by design (``os``, ``threading``, ``time``, ``json``): the
 telemetry stack must stay importable from anywhere without cycles.
@@ -35,10 +40,14 @@ telemetry stack must stay importable from anywhere without cycles.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 import time
 from pathlib import Path
+from typing import Sequence
+
+log = logging.getLogger("repro.tracing")
 
 #: Bound on retained trace events per tracer; at ~6 events per design
 #: point (point + blocks + solver) this covers sweeps of ~30k points.
@@ -84,10 +93,19 @@ class Tracer:
         self.pid = os.getpid()
         self.max_events = int(max_events)
         self.dropped = 0
+        #: Seconds to ADD to this tracer's wall timestamps to land on the
+        #: coordinator's clock; stamped into snapshots so the absorbing
+        #: side aligns remote lanes (0.0 for local tracers).
+        self.clock_offset_s = 0.0
         self._lock = threading.Lock()
         self._events: list[dict] = []
         #: pid -> lane label, including lanes absorbed from workers.
         self._lanes: dict[int, str] = {self.pid: self.label}
+        #: lane label -> measured clock offset applied at absorb time.
+        self._lane_offsets: dict[str, float] = {}
+        #: lane label -> events that lane reported dropping (own + absorbed).
+        self._lane_dropped: dict[str, int] = {}
+        self._drop_warned = False
         self._stack = threading.local()
         self._next_id = 0
         self._tids: dict[int, int] = {}
@@ -119,6 +137,15 @@ class Tracer:
 
     def _to_unix(self, perf: float) -> float:
         return self._epoch_unix + (perf - self._epoch_perf)
+
+    def current_span_id(self) -> str | None:
+        """Span id of the calling thread's innermost open span, if any.
+
+        The fleet coordinator reads this inside its ``fleet.run`` span to
+        stamp leases with a parent span id workers can link under.
+        """
+        stack = getattr(self._stack, "spans", None)
+        return stack[-1].span_id if stack else None
 
     def start(self, name: str, **args) -> _SpanToken:
         """Open one span instance; the same thread's open span is its parent."""
@@ -170,12 +197,43 @@ class Tracer:
             }
         )
 
+    def counter(self, name: str, **values: float) -> None:
+        """Record a Chrome counter ("C") sample: a named set of series values.
+
+        Perfetto renders these as stacked per-process counter tracks --
+        the resource sampler uses them for RSS/CPU/thread timelines.
+        """
+        self._append(
+            {
+                "ph": "C",
+                "name": name,
+                "cat": _category(name),
+                "t": self._to_unix(time.perf_counter()),
+                "dur": 0.0,
+                "pid": self.pid,
+                "tid": 0,
+                "id": None,
+                "parent": None,
+                "args": {key: float(value) for key, value in values.items()},
+            }
+        )
+
     def _append(self, event: dict) -> None:
         with self._lock:
             if len(self._events) < self.max_events:
                 self._events.append(event)
-            else:
-                self.dropped += 1
+                return
+            self.dropped += 1
+            self._lane_dropped[self.label] = self._lane_dropped.get(self.label, 0) + 1
+            warn_now = not self._drop_warned
+            self._drop_warned = True
+        if warn_now:
+            log.warning(
+                "tracer %r hit max_events=%d; further trace events are "
+                "dropped (counted in the manifest trace section)",
+                self.label,
+                self.max_events,
+            )
 
     # --- snapshot / merge -------------------------------------------------------
 
@@ -192,6 +250,7 @@ class Tracer:
             if drain:
                 self._events = []
                 self.dropped = 0
+                self._lane_dropped.pop(self.label, None)
         return {
             "version": TRACE_SNAPSHOT_VERSION,
             "label": self.label,
@@ -199,25 +258,54 @@ class Tracer:
             "events": events,
             "lanes": lanes,
             "dropped": dropped,
+            "clock_offset_s": self.clock_offset_s,
         }
 
-    def absorb(self, snapshot: dict) -> None:
+    def absorb(self, snapshot: dict, clock_offset_s: float | None = None) -> None:
         """File another tracer's snapshot under its own lanes.
 
         Events keep their original pid/tid (that *is* the lane), so a
         worker's spans render in the worker's swimlane, not the driver's.
+        Timestamps are shifted onto this tracer's clock by
+        ``clock_offset_s`` (explicit argument, else the offset the remote
+        tracer stamped into the snapshot); the applied offset and the
+        remote side's dropped-event count are remembered per lane for
+        :meth:`summary`.
         """
         if snapshot.get("version") != TRACE_SNAPSHOT_VERSION:
             raise ValueError(
                 f"trace snapshot version {snapshot.get('version')!r} != "
                 f"supported {TRACE_SNAPSHOT_VERSION}"
             )
+        offset = clock_offset_s
+        if offset is None:
+            offset = float(snapshot.get("clock_offset_s", 0.0) or 0.0)
+        events = snapshot["events"]
+        if offset:
+            events = [{**event, "t": event["t"] + offset} for event in events]
+        label = str(snapshot.get("label", "")) or None
+        remote_dropped = int(snapshot.get("dropped", 0))
         with self._lock:
-            self._lanes.update(snapshot.get("lanes", {}))
+            # Lane keys arrive as ints from pickled snapshots but as
+            # strings after a JSON round-trip (the fleet wire); normalise.
+            self._lanes.update(
+                {int(pid): str(name) for pid, name in snapshot.get("lanes", {}).items()}
+            )
             room = self.max_events - len(self._events)
-            events = snapshot["events"]
             self._events.extend(events[:room])
-            self.dropped += snapshot.get("dropped", 0) + max(0, len(events) - room)
+            overflow = max(0, len(events) - room)
+            self.dropped += remote_dropped + overflow
+            if label is not None:
+                if offset or label in self._lane_offsets:
+                    self._lane_offsets[label] = offset
+                if remote_dropped:
+                    self._lane_dropped[label] = (
+                        self._lane_dropped.get(label, 0) + remote_dropped
+                    )
+                if overflow:
+                    self._lane_dropped[self.label] = (
+                        self._lane_dropped.get(self.label, 0) + overflow
+                    )
 
     @property
     def n_events(self) -> int:
@@ -231,12 +319,27 @@ class Tracer:
             return dict(self._lanes)
 
     def summary(self) -> dict:
-        """JSON-ready digest for the run manifest (no event bodies)."""
+        """JSON-ready digest for the run manifest (no event bodies).
+
+        Beyond the totals this reports the trace-merge bookkeeping: the
+        clock offset applied to each absorbed lane and how many events
+        each lane dropped, so a truncated or skewed distributed trace is
+        visible from the manifest alone.
+        """
         with self._lock:
             return {
                 "events": len(self._events),
                 "dropped": self.dropped,
                 "lanes": {str(pid): label for pid, label in sorted(self._lanes.items())},
+                "clock_offsets": {
+                    label: offset
+                    for label, offset in sorted(self._lane_offsets.items())
+                },
+                "dropped_by_lane": {
+                    label: count
+                    for label, count in sorted(self._lane_dropped.items())
+                    if count
+                },
             }
 
 
@@ -273,15 +376,19 @@ def chrome_trace(snapshot: dict) -> dict:
             "pid": record["pid"],
             "tid": record["tid"],
             "ts": record["t"] * 1e6,
-            "args": {
+        }
+        if record["ph"] == "C":
+            # Counter samples: args are the series values, verbatim.
+            exported["args"] = dict(record.get("args", {}))
+        else:
+            exported["args"] = {
                 **record.get("args", {}),
                 "span_id": record["id"],
                 "parent_id": record["parent"],
-            },
-        }
+            }
         if record["ph"] == "X":
             exported["dur"] = max(record["dur"] * 1e6, 0.1)
-        else:
+        elif record["ph"] == "i":
             exported["s"] = "t"  # thread-scoped instant
         events.append(exported)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
@@ -293,3 +400,115 @@ def write_chrome_trace(path: str | Path, tracer: Tracer) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(chrome_trace(tracer.snapshot())) + "\n")
     return path
+
+
+# --- merging exported traces ---------------------------------------------------
+
+
+def _coerce_trace(payload: dict | list) -> list[dict]:
+    """Events of a Chrome trace in either the object or array flavour."""
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+    else:
+        events = payload
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome trace: expected traceEvents list")
+    return events
+
+
+def trace_time_bounds(payload: dict | list) -> tuple[float, float] | None:
+    """(min, max) timestamp in microseconds over the trace's timed events."""
+    stamps = [
+        event["ts"]
+        for event in _coerce_trace(payload)
+        if event.get("ph") != "M" and isinstance(event.get("ts"), (int, float))
+    ]
+    if not stamps:
+        return None
+    return min(stamps), max(stamps)
+
+
+def merge_chrome_traces(
+    payloads: Sequence[dict | list],
+    *,
+    offsets_s: Sequence[float] | None = None,
+    align: bool = False,
+) -> dict:
+    """Merge exported Chrome-trace files into one multi-lane trace.
+
+    This is the offline counterpart of :meth:`Tracer.absorb` for traces
+    that were already exported (per-worker dumps, separate runs): the
+    same clock-alignment idea, applied to ``ts`` microseconds instead of
+    snapshot seconds.
+
+    ``offsets_s[i]`` is added to every timestamp of ``payloads[i]``;
+    ``align=True`` instead shifts each trace so its earliest event
+    coincides with the first trace's earliest (for dumps whose clocks
+    were never synchronised).  Colliding pids between files that name
+    *different* processes are remapped to fresh lanes so no two sources
+    overwrite each other's swimlane.
+    """
+    if offsets_s is not None and align:
+        raise ValueError("pass offsets_s or align=True, not both")
+    if offsets_s is not None and len(offsets_s) != len(payloads):
+        raise ValueError(
+            f"got {len(offsets_s)} offsets for {len(payloads)} traces"
+        )
+
+    anchor: float | None = None
+    merged: list[dict] = []
+    lane_names: dict[int, str] = {}
+    seen_meta: set[tuple[int, str]] = set()
+    next_pid = 1 + max(
+        (
+            int(event.get("pid", 0))
+            for payload in payloads
+            for event in _coerce_trace(payload)
+            if isinstance(event.get("pid"), int)
+        ),
+        default=0,
+    )
+
+    for position, payload in enumerate(payloads):
+        events = _coerce_trace(payload)
+        offset_us = 0.0
+        if offsets_s is not None:
+            offset_us = float(offsets_s[position]) * 1e6
+        elif align:
+            bounds = trace_time_bounds(payload)
+            if bounds is not None:
+                if anchor is None:
+                    anchor = bounds[0]
+                else:
+                    offset_us = anchor - bounds[0]
+
+        # Lane labels this file declares, for collision detection.
+        declared = {
+            int(event["pid"]): str(event.get("args", {}).get("name", ""))
+            for event in events
+            if event.get("ph") == "M" and event.get("name") == "process_name"
+        }
+        remap: dict[int, int] = {}
+        for pid, name in declared.items():
+            known = lane_names.get(pid)
+            if known is not None and known != name:
+                remap[pid] = next_pid
+                lane_names[next_pid] = name
+                next_pid += 1
+            else:
+                lane_names[pid] = name
+
+        for event in events:
+            exported = dict(event)
+            pid = exported.get("pid")
+            if isinstance(pid, int) and pid in remap:
+                exported["pid"] = remap[pid]
+            if exported.get("ph") == "M":
+                key = (exported.get("pid", 0), str(exported.get("name", "")))
+                if key in seen_meta:
+                    continue
+                seen_meta.add(key)
+            elif offset_us and isinstance(exported.get("ts"), (int, float)):
+                exported["ts"] = exported["ts"] + offset_us
+            merged.append(exported)
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}

@@ -35,6 +35,7 @@ from repro.core.adaptive import AdaptiveExplorationResult
 from repro.core.explorer import DesignSpaceExplorer, FrontEndEvaluator
 from repro.core.pareto import Objective
 from repro.core.results import Evaluation, ExplorationResult
+from repro.core.resources import resources_section
 from repro.core.telemetry import Telemetry, RunManifest, activate
 from repro.cs.dictionaries import dct_basis, wavelet_basis
 from repro.cs.reconstruction import Reconstructor
@@ -570,6 +571,7 @@ def build_run_manifest(
             ),
         },
         trace=telemetry.tracer.summary() if telemetry.tracer is not None else {},
+        resources=resources_section(snapshot),
         adaptive=dict(adaptive) if adaptive else {},
         fleet=fleet_section,
         workers=snapshot["workers"],

@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
+from repro.core import flight
 from repro.core.execution import (
     DEFAULT_POLICY,
     ExecutionPolicy,
@@ -60,6 +61,10 @@ DEFAULT_LEASE_TIMEOUT_S = 30.0
 
 #: Requeue budget per chunk before the poison ladder escalates.
 DEFAULT_MAX_REQUEUES = 2
+
+#: Trace-event bound advertised to workers (each ships drained deltas on
+#: heartbeats/completions, so the worker-side buffer stays small).
+WORKER_TRACE_MAX_EVENTS = 20_000
 
 
 @dataclass
@@ -359,6 +364,11 @@ class FleetCoordinator:
         self._closing = False
         self._fair_start_granted: set[str] = set()
         self._fair_start_left = 0
+        #: Trace context stamped into every lease: one id per sweep, the
+        #: parent span id of the live ``fleet.run`` span (None when the
+        #: attached telemetry has no tracer).
+        self._trace_id = f"fleet-{fingerprint[:12]}"
+        self._trace_parent: str | None = None
         self._session_counter = 0
         self._sessions: set[socket.socket] = set()
         self._server = socket.create_server((host, port))
@@ -438,16 +448,23 @@ class FleetCoordinator:
         # on one thread family (this one + connection handlers).
         poll_s = max(0.01, min(0.25, self.lease_timeout_s / 4.0))
         with tel.span("fleet.run"):
-            while True:
-                with self._lock:
-                    if self._interrupted:
-                        raise KeyboardInterrupt("fleet chaos interrupt")
-                    if table.all_done:
-                        break
-                    events = table.expire()
-                self._emit_lease_events(events)
-                self._wake.wait(poll_s)
-                self._wake.clear()
+            if tel.tracer is not None:
+                # Captured on this thread, inside the span: leases carry
+                # it so worker lease spans parent under fleet.run.
+                self._trace_parent = tel.tracer.current_span_id()
+            try:
+                while True:
+                    with self._lock:
+                        if self._interrupted:
+                            raise KeyboardInterrupt("fleet chaos interrupt")
+                        if table.all_done:
+                            break
+                        events = table.expire()
+                    self._emit_lease_events(events)
+                    self._wake.wait(poll_s)
+                    self._wake.clear()
+            finally:
+                self._trace_parent = None
         report = table.report
         tel.count("fleet.points.completed", report.points_completed)
         tel.event("fleet.report", **report.to_dict())
@@ -459,7 +476,28 @@ class FleetCoordinator:
             action = event["action"]
             tel.count(f"fleet.leases.{action}")
             tel.event("fleet.lease", **event)
+            if not tel.enabled:
+                # Telemetry events normally reach the flight ring through
+                # the Telemetry.event tap; keep the postmortem trail alive
+                # for unprofiled runs too.
+                flight.record("fleet.lease", **event)
+            if action in ("requeue", "split"):
+                # A lost/silent worker is a postmortem-worthy incident
+                # even though the sweep recovers: dump the recent trail.
+                flight.dump(
+                    "fleet-worker-lost",
+                    detail=str(event.get("reason", "")),
+                    lease=event.get("lease"),
+                    chunk=event.get("chunk"),
+                    action=action,
+                )
             if action == "quarantine":
+                flight.dump(
+                    "fleet-quarantine",
+                    detail=str(event.get("detail", "")),
+                    lease=event.get("lease"),
+                    index=event.get("index"),
+                )
                 index = event["index"]
                 with self._lock:
                     table = self._table
@@ -535,11 +573,27 @@ class FleetCoordinator:
                     "spec": self.spec,
                     "policy": asdict(self.policy),
                     "heartbeat_interval_s": self.heartbeat_interval_s,
+                    # Tell the worker what to ship home: telemetry deltas
+                    # and, when the driver is tracing, its own bounded
+                    # Tracer whose spans merge into per-worker lanes.
+                    "telemetry": {
+                        "enabled": bool(tel.enabled),
+                        "trace": tel.tracer is not None,
+                        "max_trace_events": WORKER_TRACE_MAX_EVENTS,
+                    },
                 },
             )
             while True:
                 message = protocol.recv_message(
-                    reader, expect=("request", "heartbeat", "complete", "fail", "bye")
+                    reader,
+                    expect=(
+                        "sync",
+                        "request",
+                        "heartbeat",
+                        "complete",
+                        "fail",
+                        "bye",
+                    ),
                 )
                 if message is None or message["type"] == "bye":
                     return
@@ -570,6 +624,10 @@ class FleetCoordinator:
 
     def _dispatch(self, worker: str, session: str, message: dict) -> dict | None:
         kind = message["type"]
+        if kind == "sync":
+            # Clock probe: echo the worker's t0 with our receive time, so
+            # it can estimate the coordinator-minus-worker offset.
+            return {"type": "sync_ack", "t0": message.get("t0"), "t1": time.time()}
         if kind == "request":
             return self._handle_request(worker, session)
         if kind == "heartbeat":
@@ -610,7 +668,7 @@ class FleetCoordinator:
             worker=worker,
             n_points=lease.n_points,
         )
-        return {
+        reply = {
             "type": "lease",
             "lease": lease.lease_id,
             "chunk_id": lease.chunk_id,
@@ -619,6 +677,9 @@ class FleetCoordinator:
             "chunk_digest": lease.chunk_digest,
             "points": protocol.encode_chunk(chunk),
         }
+        if tel.tracer is not None:
+            reply["trace"] = {"id": self._trace_id, "parent": self._trace_parent}
+        return reply
 
     def _handle_heartbeat(self, worker: str, message: dict) -> None:
         # Heartbeats are deliberately fire-and-forget: the worker's main
@@ -630,6 +691,12 @@ class FleetCoordinator:
         with self._lock:
             ok = self._table.heartbeat(lease_id) if self._table else False
         self.telemetry.count("fleet.heartbeats")
+        trace_delta = message.get("trace")
+        if trace_delta and self.telemetry.tracer is not None:
+            try:
+                self.telemetry.tracer.absorb(trace_delta)
+            except ValueError as error:
+                log.warning("dropping bad heartbeat trace from %s: %s", worker, error)
         if not ok:
             self.telemetry.event(
                 "fleet.lease", action="stale-heartbeat", lease=lease_id, worker=worker

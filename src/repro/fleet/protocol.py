@@ -17,13 +17,18 @@ Message flow (worker-initiated; the coordinator only ever replies)::
     ------                         -----------
     hello {protocol, label}    ->
                                <-  welcome {protocol, fingerprint, spec,
-                                            policy, heartbeat_interval_s}
+                                            policy, heartbeat_interval_s,
+                                            telemetry: {enabled, trace,
+                                                        max_trace_events}}
+    sync {t0}                  ->
+                               <-  sync_ack {t0, t1}
     request {}                 ->
                                <-  lease {lease, chunk_id, deadline_s,
                                           fingerprint, chunk_digest,
+                                          trace?: {id, parent},
                                           points: [{index, point}]}
                                    | wait {delay_s} | done {}
-    heartbeat {lease}          ->  (no reply: the worker's heartbeat
+    heartbeat {lease, trace?}  ->  (no reply: the worker's heartbeat
                                     thread shares the socket with its
                                     main thread, so replies here would
                                     interleave into the lease stream)
@@ -41,6 +46,20 @@ silent past it loses the lease and the chunk is requeued.  Completions
 are validated against the lease's ``chunk_digest`` and deduplicated at
 *point index* granularity on the coordinator, so late completions from
 expired leases merge exactly-once.
+
+Distributed tracing rides this protocol instead of adding a second
+channel.  The ``sync`` exchange is an NTP-style clock probe: the worker
+records its send time ``t0`` and the coordinator answers with its own
+receive time ``t1``; from its read time ``t2`` the worker estimates the
+coordinator-minus-worker clock offset as ``t1 - (t0 + t2) / 2`` and
+stamps it into every trace snapshot it ships, so the coordinator's
+:meth:`~repro.core.tracing.Tracer.absorb` files remote spans on one
+aligned timeline.  Each ``lease`` carries the coordinator's trace
+context (a trace id plus the parent span id of the coordinator's
+``fleet.run`` span); the worker parents its ``fleet.worker.lease`` span
+under it.  Drained trace deltas piggyback on ``heartbeat`` messages and
+inside the ``complete`` telemetry snapshot -- a long chunk streams its
+spans home while still running.
 """
 
 from __future__ import annotations
@@ -60,13 +79,16 @@ from repro.core.serialization import (
 from repro.power.technology import DesignPoint
 
 #: Version stamp exchanged in hello/welcome; mismatches refuse the worker.
-PROTOCOL_VERSION = 1
+#: v2 added the ``sync``/``sync_ack`` clock probe, the ``telemetry``
+#: advertisement in ``welcome``, lease trace context and trace deltas on
+#: heartbeats -- an incompatible handshake, hence the bump.
+PROTOCOL_VERSION = 2
 
 #: Messages a worker may send (anything else is a protocol error).
-WORKER_MESSAGES = ("hello", "request", "heartbeat", "complete", "fail", "bye")
+WORKER_MESSAGES = ("hello", "sync", "request", "heartbeat", "complete", "fail", "bye")
 
 #: Messages a coordinator may send.
-COORDINATOR_MESSAGES = ("welcome", "lease", "wait", "done", "ack", "error")
+COORDINATOR_MESSAGES = ("welcome", "sync_ack", "lease", "wait", "done", "ack", "error")
 
 
 class ProtocolError(RuntimeError):

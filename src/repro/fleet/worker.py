@@ -37,13 +37,16 @@ import time
 from importlib import import_module
 from typing import Callable
 
+from repro.core import flight
 from repro.core.execution import (
     EvaluationCache,
     ExecutionPolicy,
     evaluate_one_timed,
     evaluator_fingerprint,
 )
+from repro.core.resources import ResourceSampler
 from repro.core.telemetry import Telemetry, activate
+from repro.core.tracing import DEFAULT_MAX_TRACE_EVENTS, Tracer
 from repro.fleet import protocol
 from repro.fleet.chaos import ChaosPlan
 
@@ -122,6 +125,12 @@ class FleetWorker:
         self._reader = None
         self._writer = None
         self._write_lock = threading.Lock()
+        #: Estimated coordinator-minus-local clock offset (sync exchange).
+        self.clock_offset_s = 0.0
+        self.sync_rtt_s = 0.0
+        #: Persistent per-worker sink; rebuilt by run() once the welcome
+        #: says whether the coordinator wants telemetry/tracing shipped.
+        self.telemetry = Telemetry()
 
     # --- connection plumbing --------------------------------------------------
 
@@ -159,7 +168,32 @@ class FleetWorker:
                 f"coordinator speaks protocol {welcome.get('protocol')!r}, "
                 f"this worker speaks {protocol.PROTOCOL_VERSION}"
             )
+        self._sync_clock()
         return welcome
+
+    def _sync_clock(self) -> None:
+        """NTP-style probe: estimate the coordinator-minus-local offset.
+
+        ``t0`` (local send) and ``t2`` (local receive) bracket the
+        coordinator's ``t1``; assuming symmetric network delay the
+        coordinator clock at the midpoint reads ``t1``, so the offset is
+        ``t1 - (t0 + t2) / 2``.  The estimate is stamped on every trace
+        snapshot this worker ships (re-measured after each reconnect),
+        which is what lets the coordinator merge lanes from machines
+        whose wall clocks disagree.
+        """
+        t0 = time.time()
+        self._send({"type": "sync", "t0": t0})
+        ack = protocol.recv_message(self._reader, expect=("sync_ack", "error"))
+        t2 = time.time()
+        if ack is None or ack["type"] == "error":
+            raise protocol.ProtocolError("coordinator failed the clock sync")
+        t1 = float(ack.get("t1", t0))
+        self.clock_offset_s = t1 - (t0 + t2) / 2.0
+        self.sync_rtt_s = max(0.0, t2 - t0)
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
+        if tracer is not None:
+            tracer.clock_offset_s = self.clock_offset_s
 
     def _send(self, payload: dict) -> None:
         with self._write_lock:
@@ -198,6 +232,23 @@ class FleetWorker:
                 f"evaluator fingerprint mismatch: coordinator={fingerprint[:16]}... "
                 f"local={local_fingerprint[:16]}... (different corpus/seed/config?)"
             )
+        telemetry_config = welcome.get("telemetry") or {}
+        tracer = None
+        if telemetry_config.get("trace"):
+            tracer = Tracer(
+                label=self.label,
+                max_events=int(
+                    telemetry_config.get("max_trace_events")
+                    or DEFAULT_MAX_TRACE_EVENTS
+                ),
+            )
+            tracer.clock_offset_s = self.clock_offset_s
+        self.telemetry = Telemetry(tracer=tracer)
+        sampler = None
+        if telemetry_config.get("enabled"):
+            sampler = ResourceSampler(
+                self.telemetry, label=self.label
+            ).start()
         try:
             while True:
                 try:
@@ -231,6 +282,8 @@ class FleetWorker:
                     continue
                 self._serve_lease(message, evaluator, fingerprint, policy, heartbeat_s)
         finally:
+            if sampler is not None:
+                sampler.stop()
             self._disconnect()
 
     def _partition_and_reconnect(self) -> None:
@@ -264,7 +317,28 @@ class FleetWorker:
                 daemon=True,
             )
             beater.start()
-        tel = Telemetry()
+        tel = self.telemetry
+        flight.record(
+            "fleet.worker.lease",
+            label=self.label,
+            lease=lease_id,
+            chunk=lease.get("chunk_id"),
+            points=len(chunk),
+        )
+        # Parent this worker's lease span under the coordinator's
+        # ``fleet.run`` span (the lease carries the trace context), so the
+        # merged trace links every worker lane back to the driver.
+        trace_context = lease.get("trace") or {}
+        lease_token = None
+        if tel.tracer is not None:
+            lease_token = tel.tracer.start(
+                "fleet.worker.lease",
+                lease=lease_id,
+                chunk=lease.get("chunk_id"),
+                trace_id=trace_context.get("id"),
+            )
+            if lease_token.parent_id is None and trace_context.get("parent"):
+                lease_token.parent_id = str(trace_context["parent"])
         rows: list[tuple] = []
         try:
             with activate(tel):
@@ -295,11 +369,19 @@ class FleetWorker:
                         os.kill(os.getpid(), signal.SIGKILL)
         except Exception as error:  # noqa: BLE001 - report, then drop the lease
             stop_beating.set()
+            flight.record(
+                "fleet.worker.fail",
+                label=self.label,
+                lease=lease_id,
+                error=repr(error),
+            )
             self._send({"type": "fail", "lease": lease_id, "error": repr(error)})
             protocol.recv_message(self._reader, expect=("ack",))
             return
         finally:
             stop_beating.set()
+            if lease_token is not None and tel.tracer is not None:
+                tel.tracer.finish(lease_token)
             if beater is not None:
                 beater.join(timeout=heartbeat_s + 1.0)
         if silenced and self.chaos.complete_delay_s > 0:
@@ -325,13 +407,26 @@ class FleetWorker:
                 "%s: coordinator went away before acking %s", self.label, lease_id
             )
         self.stats["chunks"] += 1
+        flight.record(
+            "fleet.worker.complete",
+            label=self.label,
+            lease=lease_id,
+            points=len(rows),
+        )
 
     def _heartbeat_loop(
         self, lease_id: str, interval_s: float, stop: threading.Event
     ) -> None:
         while not stop.wait(interval_s):
+            payload = {"type": "heartbeat", "lease": lease_id}
+            # Piggyback drained trace deltas so a long chunk streams its
+            # spans home while still running (the coordinator absorbs
+            # them without replying -- heartbeats are one-way).
+            tracer = self.telemetry.tracer if self.telemetry is not None else None
+            if tracer is not None and tracer.n_events:
+                payload["trace"] = tracer.snapshot(drain=True)
             try:
-                self._send({"type": "heartbeat", "lease": lease_id})
+                self._send(payload)
             except (OSError, ValueError, AttributeError):
                 return  # connection is gone; the main loop will notice
 

@@ -49,9 +49,14 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.execution import evaluation_key, evaluator_fingerprint
 from repro.core.explorer import DesignSpaceExplorer
-from repro.core.metrics import JsonlEventWriter
+from repro.core.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    JsonlEventWriter,
+    render_openmetrics,
+)
 from repro.core.pareto import Objective, pareto_front
 from repro.core.telemetry import Telemetry, get_active
+from repro.core.tracing import Tracer, chrome_trace
 from repro.store import ResultStore, SweepManifest, check_sweep_name
 from repro.power.technology import DesignPoint
 
@@ -66,6 +71,15 @@ MAX_PAGE_LIMIT = 1000
 
 #: Poll interval of the progress tail (seconds).
 EVENT_POLL_S = 0.05
+
+#: Response-size histogram bucket upper bounds (bytes): log-spaced from a
+#: health-check ping to the largest paginated evaluation page.
+RESPONSE_BYTES_BUCKETS: tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+)
+
+#: Content type of the ``/metrics`` exposition body.
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 
 class SubmissionError(ValueError):
@@ -162,6 +176,7 @@ class SweepService:
         self.telemetry = telemetry if telemetry is not None else get_active()
         self.events_dir = store.root / "events"
         self.jobs: dict[str, SweepJob] = {}
+        self.started_unix = time.time()
         self._lock = threading.Lock()
         self._draining = threading.Event()
 
@@ -278,7 +293,9 @@ class SweepService:
     ) -> None:
         """Worker-thread body: run the sweep, persist it, settle the job."""
         sink = JsonlEventWriter(job.events_path)
-        tel = Telemetry(logger=log, event_sink=sink)
+        tel = Telemetry(
+            logger=log, event_sink=sink, tracer=Tracer(label=f"sweep-{job.name}")
+        )
         try:
             result = DesignSpaceExplorer(evaluator).explore(
                 points,
@@ -305,6 +322,15 @@ class SweepService:
             self.telemetry.count("serve.sweeps_failed")
             log.warning("sweep %s failed: %s", job.name, job.error, exc_info=True)
         finally:
+            # Persist the sweep's Chrome trace next to its event sink
+            # (``GET /v1/sweeps/<name>/trace`` serves it) *before* the
+            # drain below empties the tracer's span buffer.
+            try:
+                self.trace_path(job.name).write_text(
+                    json.dumps(chrome_trace(tel.tracer.snapshot()), indent=1) + "\n"
+                )
+            except OSError as error:  # pragma: no cover - disk full etc.
+                log.warning("could not write trace for sweep %s: %s", job.name, error)
             # Fold the sweep's exploration telemetry (cache hit/miss
             # counters, point latencies) into the service sink so the
             # service's counters tell the whole story.
@@ -313,6 +339,36 @@ class SweepService:
             sink.close()
 
     # --- queries --------------------------------------------------------------
+
+    def trace_path(self, name: str) -> Path:
+        """Where the Chrome trace of sweep ``name`` is persisted."""
+        return self.events_dir / f"{name}.trace.json"
+
+    def health_view(self) -> dict:
+        """The enriched ``/healthz`` body: liveness plus capacity signals.
+
+        Load balancers key on ``ok``/``draining``; operators read the
+        rest -- uptime, how many sweeps are running/queued against done/
+        failed, and how big the store behind the read paths has grown.
+        """
+        with self._lock:
+            statuses = [job.status for job in self.jobs.values()]
+        index = self.store.index()
+        return {
+            "ok": True,
+            "draining": self.draining,
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "started_unix": self.started_unix,
+            "sweeps": {
+                "running": statuses.count("running"),
+                "done": statuses.count("done"),
+                "failed": statuses.count("failed"),
+            },
+            "store": {
+                "sweeps": len(index.get("sweeps", {})),
+                "cached_evaluations": len(self.store.cache),
+            },
+        }
 
     def job_or_stored(self, name: str) -> tuple[SweepJob | None, SweepManifest | None]:
         """Live job and/or stored manifest for ``name`` (either may be None)."""
@@ -378,6 +434,19 @@ class Response:
     payload: dict | list | None = None
     headers: dict[str, str] = field(default_factory=dict)
     stream: AsyncIterator[str] | None = None
+    #: Pre-rendered text body (e.g. the OpenMetrics exposition); wins over
+    #: ``payload`` and defaults the Content-Type to plain text.
+    text: str | None = None
+
+    def encode_body(self) -> bytes:
+        """The response body bytes (empty for streams/304/error-no-payload)."""
+        if self.stream is not None:
+            return b""
+        if self.text is not None:
+            return self.text.encode()
+        if self.status == 304 or (self.payload is None and self.status != 200):
+            return b""
+        return (json.dumps(self.payload, indent=1) + "\n").encode()
 
 
 class HttpError(Exception):
@@ -447,47 +516,83 @@ class SweepApi:
     def telemetry(self) -> Telemetry:
         return self.service.telemetry
 
+    #: Recognised per-sweep views (route labels stay bounded: an unknown
+    #: view or path instruments as ``other``, never as raw request text).
+    SWEEP_VIEWS = ("manifest", "evaluations", "pareto", "breakdown", "events", "trace")
+
+    @classmethod
+    def route_label(cls, method: str, parts: list[str]) -> str:
+        """Low-cardinality route label for per-route request metrics."""
+        if parts == ["healthz"]:
+            return "healthz"
+        if parts == ["metrics"]:
+            return "metrics"
+        if parts == ["v1", "sweeps"]:
+            return "sweeps.submit" if method == "POST" else "sweeps.list"
+        if len(parts) in (3, 4) and parts[:2] == ["v1", "sweeps"]:
+            view = parts[3] if len(parts) == 4 else "manifest"
+            if view in cls.SWEEP_VIEWS:
+                return f"sweep.{view}"
+        return "other"
+
     async def dispatch(self, request: Request) -> Response:
+        """Route one request; observe per-route latency and response size."""
+        started = time.perf_counter()
         self.telemetry.count("serve.requests")
         parts = [unquote(p) for p in request.path.strip("/").split("/") if p]
+        route = self.route_label(request.method, parts)
         try:
-            if parts == ["healthz"]:
-                return self._method(
-                    request,
-                    "GET",
-                    lambda: Response(
-                        200, {"ok": True, "draining": self.service.draining}
-                    ),
-                )
-            if parts == ["v1", "sweeps"]:
-                if request.method == "GET":
-                    return self._list_sweeps()
-                if request.method == "POST":
-                    return self._submit(request)
-                raise HttpError(405, f"{request.method} not allowed here")
-            if len(parts) in (3, 4) and parts[:2] == ["v1", "sweeps"]:
-                name = parts[2]
-                view = parts[3] if len(parts) == 4 else "manifest"
-                if view == "events":
-                    return self._method(request, "GET", lambda: self._events(name))
-                handler = {
-                    "manifest": self._manifest,
-                    "evaluations": self._evaluations,
-                    "pareto": self._pareto,
-                    "breakdown": self._breakdown,
-                }.get(view)
-                if handler is None:
-                    raise HttpError(404, f"unknown sweep view {view!r}")
-                return self._method(request, "GET", lambda: handler(name, request))
-            raise HttpError(404, f"no route for {request.path!r}")
+            response = self._route(request, parts)
         except HttpError as error:
             if error.status >= 500:  # pragma: no cover - no 5xx HttpErrors today
                 self.telemetry.count("serve.errors")
-            return Response(error.status, {"error": error.message})
+            response = Response(error.status, {"error": error.message})
         except Exception as error:  # noqa: BLE001 - the server must answer
             self.telemetry.count("serve.errors")
             log.exception("unhandled error serving %s %s", request.method, request.path)
-            return Response(500, {"error": f"{type(error).__name__}: {error}"})
+            response = Response(500, {"error": f"{type(error).__name__}: {error}"})
+        self.telemetry.observe(
+            f"serve.request_seconds.{route}",
+            time.perf_counter() - started,
+            bounds=DEFAULT_LATENCY_BUCKETS_S,
+        )
+        if response.stream is None:  # streamed bodies have no known size
+            self.telemetry.observe(
+                f"serve.response_bytes.{route}",
+                len(response.encode_body()),
+                bounds=RESPONSE_BYTES_BUCKETS,
+            )
+        return response
+
+    def _route(self, request: Request, parts: list[str]) -> Response:
+        if parts == ["healthz"]:
+            return self._method(
+                request, "GET", lambda: Response(200, self.service.health_view())
+            )
+        if parts == ["metrics"]:
+            return self._method(request, "GET", self._metrics)
+        if parts == ["v1", "sweeps"]:
+            if request.method == "GET":
+                return self._list_sweeps()
+            if request.method == "POST":
+                return self._submit(request)
+            raise HttpError(405, f"{request.method} not allowed here")
+        if len(parts) in (3, 4) and parts[:2] == ["v1", "sweeps"]:
+            name = parts[2]
+            view = parts[3] if len(parts) == 4 else "manifest"
+            if view == "events":
+                return self._method(request, "GET", lambda: self._events(name))
+            handler = {
+                "manifest": self._manifest,
+                "evaluations": self._evaluations,
+                "pareto": self._pareto,
+                "breakdown": self._breakdown,
+                "trace": self._trace,
+            }.get(view)
+            if handler is None:
+                raise HttpError(404, f"unknown sweep view {view!r}")
+            return self._method(request, "GET", lambda: handler(name, request))
+        raise HttpError(404, f"no route for {request.path!r}")
 
     @staticmethod
     def _method(request: Request, allowed: str, handler: Callable[[], Response]) -> Response:
@@ -496,6 +601,41 @@ class SweepApi:
         return handler()
 
     # --- handlers -------------------------------------------------------------
+
+    def _metrics(self) -> Response:
+        """OpenMetrics exposition of the service telemetry.
+
+        Includes the ``serve.*`` counters, the per-route request-latency
+        and response-size histograms, any resource-sampler histograms,
+        and everything merged from finished sweeps.  The body is also
+        valid Prometheus exposition format, so plain scrapers work too.
+        """
+        return Response(
+            200,
+            text=render_openmetrics(self.telemetry),
+            headers={"Content-Type": OPENMETRICS_CONTENT_TYPE},
+        )
+
+    def _trace(self, name: str, request: Request) -> Response:
+        """The persisted Chrome trace of one finished (or failed) sweep."""
+        del request  # no conditional handling: traces are write-once
+        job, manifest = self.service.job_or_stored(name)
+        path = self.service.trace_path(name)
+        if job is None and manifest is None and not path.exists():
+            raise HttpError(404, f"no sweep named {name!r}")
+        if job is not None and job.status == "running":
+            raise HttpError(404, f"sweep {name!r} is still running; no trace yet")
+        try:
+            payload = json.loads(path.read_text())
+        except OSError:
+            raise HttpError(
+                404,
+                f"no trace recorded for sweep {name!r} (stored sweeps served "
+                f"from cache never ran, so they have no trace)",
+            ) from None
+        except ValueError as error:  # pragma: no cover - torn write
+            raise HttpError(500, f"trace for {name!r} is unreadable: {error}") from None
+        return Response(200, payload)
 
     def _list_sweeps(self) -> Response:
         index = self.service.store.index()
@@ -756,12 +896,13 @@ async def _write_response(
         writer.write(b"0\r\n\r\n")
         await writer.drain()
         return False
-    if response.status == 304 or response.payload is None and response.status != 200:
-        body = b""
-    else:
-        body = (json.dumps(response.payload, indent=1) + "\n").encode()
+    body = response.encode_body()
     if response.status != 304:
-        headers.setdefault("Content-Type", "application/json")
+        content_type = (
+            "text/plain; charset=utf-8" if response.text is not None
+            else "application/json"
+        )
+        headers.setdefault("Content-Type", content_type)
     headers["Content-Length"] = str(len(body))
     headers["Connection"] = "keep-alive" if keep_alive else "close"
     writer.write(_head(response.status, headers) + body)

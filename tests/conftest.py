@@ -6,6 +6,21 @@ import pytest
 from repro.power.technology import DesignPoint, Technology
 
 
+@pytest.fixture(autouse=True)
+def _flight_dir(tmp_path, monkeypatch):
+    """Point crash flight-recorder dumps at the test's tmp dir.
+
+    The recorder is always on by design; without this, timeout/crash
+    tests would litter ``.repro-flight/`` in the working directory.
+    The per-process dump budget is also reset so an early test cannot
+    exhaust it for a later one.
+    """
+    from repro.core import flight
+
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path / "flight"))
+    flight.get_recorder().dumps = 0
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

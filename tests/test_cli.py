@@ -394,3 +394,65 @@ class TestFleetCli:
     def test_fleet_conflicts_with_adaptive(self, capsys):
         assert main(["sweep", "--fleet", "--adaptive"]) == 2
         assert "--adaptive" in capsys.readouterr().err
+
+
+class TestTraceMergeCli:
+    @staticmethod
+    def _trace(path, label, pid, at_s):
+        from repro.core.tracing import Tracer, chrome_trace
+
+        tracer = Tracer(label=label)
+        tracer.finish(tracer.start("work"))
+        payload = chrome_trace(tracer.snapshot())
+        for event in payload["traceEvents"]:
+            event["pid"] = pid
+            if event["ph"] == "X":
+                event["ts"] = at_s * 1e6
+        path.write_text(json.dumps(payload))
+        return payload
+
+    def test_merge_round_trip(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self._trace(a, "coordinator", pid=100, at_s=1.0)
+        self._trace(b, "worker-1", pid=100, at_s=2.0)  # colliding pid
+        out = tmp_path / "merged" / "trace.json"
+        assert main(["trace", "merge", str(a), str(b), "-o", str(out)]) == 0
+        merged = json.loads(out.read_text())
+        lanes = {
+            e["args"]["name"] for e in merged["traceEvents"] if e["ph"] == "M"
+        }
+        assert lanes == {"coordinator", "worker-1"}
+        # The pid collision was resolved, not silently squashed.
+        pids = {e["pid"] for e in merged["traceEvents"]}
+        assert len(pids) == 2
+        summary = capsys.readouterr().out
+        assert "2 lane(s)" in summary and str(out) in summary
+
+    def test_merge_align_anchors_traces(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self._trace(a, "coordinator", pid=1, at_s=10.0)
+        self._trace(b, "worker-1", pid=2, at_s=9000.0)  # skewed clock
+        out = tmp_path / "merged.json"
+        assert main(
+            ["trace", "merge", str(a), str(b), "-o", str(out), "--align"]
+        ) == 0
+        merged = json.loads(out.read_text())
+        spans = [e for e in merged["traceEvents"] if e["ph"] == "X"]
+        earliest = {e["pid"]: e["ts"] for e in spans}
+        assert len(set(earliest.values())) == 1  # both anchored together
+
+    def test_missing_input_is_an_error(self, tmp_path, capsys):
+        out = tmp_path / "merged.json"
+        code = main(["trace", "merge", str(tmp_path / "nope.json"), "-o", str(out)])
+        assert code == 2
+        assert "nope.json" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_non_trace_input_is_an_error(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": "world"}))
+        code = main(["trace", "merge", str(bogus), "-o", str(tmp_path / "m.json")])
+        assert code == 2
+        assert "trace" in capsys.readouterr().err.lower()

@@ -201,3 +201,102 @@ class TestCoordinatorKill:
             telemetry=tel,
         )
         assert tel.counters["explore.interrupted"] == 1
+
+
+class TestDistributedObservability:
+    """The tentpole acceptance path: one chaos-injected fleet sweep must
+    leave behind (a) a single merged Chrome trace with per-worker lanes
+    and coordinator-parented, clock-aligned spans, (b) a flight-recorder
+    artifact for the killed worker, and (c) a schema-v7 manifest whose
+    ``trace``/``resources`` sections account for the merge."""
+
+    def test_chaos_sweep_produces_merged_trace_and_flight_artifact(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+        import os
+        import time
+
+        from repro.core.tracing import Tracer, chrome_trace
+        from repro.core.telemetry import MANIFEST_SCHEMA_VERSION, RunManifest
+        from repro.experiments.runner import build_run_manifest
+
+        flight_dir = tmp_path / "flight"
+        monkeypatch.setenv("REPRO_FLIGHT_DIR", str(flight_dir))
+
+        space = smoke_grid()
+        tel = Telemetry(tracer=Tracer(label="driver"))
+        run_started = time.time()
+        result, report = run_fleet(
+            space,
+            FleetOptions(
+                spawn_workers=3,
+                wait_for_workers=3,
+                chaos_plans=(ChaosPlan(kill_after_points=2),),
+                **FAST,
+            ),
+            telemetry=tel,
+        )
+        run_ended = time.time()
+        assert report.points_completed == space.size
+
+        # (a) One merged trace: worker lanes absorbed into the driver's.
+        trace = chrome_trace(tel.tracer.snapshot())
+        lane_labels = {
+            event["args"]["name"]: event["pid"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M"
+        }
+        worker_lanes = [name for name in lane_labels if name.startswith("worker-")]
+        assert len(worker_lanes) >= 2, f"lanes: {sorted(lane_labels)}"
+        assert "driver" in lane_labels
+
+        # Worker lease spans are parented under the coordinator's
+        # fleet.run span: the lease trace context crossed the wire.
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        fleet_run = [e for e in spans if e["name"] == "fleet.run"]
+        assert len(fleet_run) == 1
+        lease_spans = [e for e in spans if e["name"] == "fleet.worker.lease"]
+        assert lease_spans, "workers shipped no lease spans"
+        assert {e["args"]["parent_id"] for e in lease_spans} == {
+            fleet_run[0]["args"]["span_id"]
+        }
+        driver_pid = os.getpid()
+        assert all(e["pid"] != driver_pid for e in lease_spans)
+
+        # Clock-aligned and monotone: every absorbed span lies inside
+        # the run's wall-clock window (sync offsets on one host are
+        # sub-millisecond; a second of slack absorbs scheduling noise).
+        for event in spans:
+            start_s = event["ts"] / 1e6
+            end_s = start_s + event["dur"] / 1e6
+            assert start_s >= run_started - 1.0
+            assert end_s <= run_ended + 1.0
+            assert event["dur"] >= 0
+
+        # (b) The killed worker left a flight artifact behind (the
+        # coordinator dumps on the requeue/expiry recovery action).
+        dumps = sorted(flight_dir.glob("flight-*.json"))
+        assert dumps, "no flight artifact for the killed worker"
+        triggers = {json.loads(p.read_text())["trigger"] for p in dumps}
+        assert triggers & {"fleet-worker-lost", "fleet-quarantine"}
+
+        # (c) Schema-v7 manifest: trace-merge bookkeeping + resources.
+        manifest = build_run_manifest(
+            result, tel, "smoke", executor="fleet", n_workers=3
+        )
+        assert manifest.schema == MANIFEST_SCHEMA_VERSION == 7
+        assert manifest.trace["events"] > 0
+        assert set(manifest.trace) >= {"clock_offsets", "dropped_by_lane", "lanes"}
+        offsets = manifest.trace["clock_offsets"]
+        assert all(abs(v) < 5.0 for v in offsets.values())  # same host
+        histograms = manifest.resources["histograms"]
+        assert histograms["resources.rss_mb"]["count"] >= 1
+        workers = manifest.resources["workers"]
+        assert workers, "no per-worker resource attribution"
+        assert any(label.startswith("worker-") for label in workers)
+        rebuilt = RunManifest.from_dict(
+            json.loads(json.dumps(manifest.to_dict()))
+        )
+        assert rebuilt.resources == manifest.resources
+        assert rebuilt.trace == manifest.trace

@@ -45,6 +45,26 @@ class TestHistogram:
 
     def test_empty_quantile_is_nan(self):
         assert math.isnan(Histogram().quantile(0.5))
+        assert math.isnan(Histogram().quantile(0.0))
+        assert math.isnan(Histogram().quantile(1.0))
+        assert math.isnan(Histogram(bounds=(1.0,)).quantile(0.99))
+
+    def test_single_bucket_histogram(self):
+        h = Histogram(bounds=(1.0,))
+        for value in (0.2, 0.4, 0.9):
+            h.observe(value)
+        h.observe(5.0)  # overflow bucket
+        assert h.counts == [3, 1]
+        assert h.count == 4
+        # Quantiles stay inside the observed range even though the only
+        # finite bucket spans [min, 1.0] and the overflow is unbounded.
+        assert h.min <= h.quantile(0.5) <= h.max
+        assert h.quantile(1.0) == h.max
+        # Merge of single-bucket histograms is a plain elementwise sum.
+        other = Histogram(bounds=(1.0,))
+        other.observe(0.7)
+        h.merge(other)
+        assert h.counts == [4, 1] and h.count == 5
 
     def test_quantile_range_checked(self):
         with pytest.raises(ValueError, match="quantile"):
@@ -68,8 +88,15 @@ class TestHistogram:
         assert left.min == union.min and left.max == union.max
 
     def test_merge_rejects_different_bounds(self):
-        with pytest.raises(ValueError, match="bounds"):
+        with pytest.raises(
+            ValueError, match="cannot merge histograms with different bounds"
+        ):
             Histogram(bounds=(1.0, 2.0)).merge(Histogram(bounds=(1.0, 3.0)))
+        # Same edges, different count: also a clear mismatch, not silence.
+        with pytest.raises(
+            ValueError, match="cannot merge histograms with different bounds"
+        ):
+            Histogram(bounds=(1.0, 2.0)).merge(Histogram(bounds=(1.0, 2.0, 3.0)))
 
     def test_bounds_validation(self):
         with pytest.raises(ValueError, match="ascending"):

@@ -229,7 +229,11 @@ class TestHttpEndToEnd:
     def test_healthz(self, client):
         response, data = client.request("GET", "/healthz")
         assert response.status == 200
-        assert data == {"ok": True, "draining": False}
+        assert data["ok"] is True
+        assert data["draining"] is False
+        assert data["uptime_s"] >= 0
+        assert set(data["sweeps"]) == {"running", "done", "failed"}
+        assert set(data["store"]) == {"sweeps", "cached_evaluations"}
 
     def test_full_cycle(self, server, service):
         client = Client(server)
@@ -477,3 +481,87 @@ class TestGracefulShutdown:
         before = service.telemetry.counters.get("serve.drain")
         service.begin_drain()
         assert service.telemetry.counters.get("serve.drain") == before == 1
+
+
+class TestMetricsEndpoint:
+    def fetch_metrics(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request("GET", "/metrics")
+        response = conn.getresponse()
+        body = response.read().decode()
+        conn.close()
+        return response, body
+
+    def test_openmetrics_exposition(self, server, service):
+        client = Client(server)
+        client.request("POST", "/v1/sweeps", body={"name": "met"})
+        wait_done(service, "met")
+        client.request("GET", "/healthz")
+        client.close()
+        response, body = self.fetch_metrics(server)
+        assert response.status == 200
+        assert response.headers["Content-Type"].startswith(
+            "application/openmetrics-text"
+        )
+        assert body.endswith("# EOF\n")
+        # A counter family from the request path...
+        assert "# TYPE repro_serve_requests counter" in body
+        assert "repro_serve_requests_total" in body
+        # ...and a per-route latency histogram family with cumulative
+        # buckets ending in the +Inf catch-all.
+        assert "# TYPE repro_serve_request_seconds_healthz histogram" in body
+        healthz_buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in body.splitlines()
+            if line.startswith("repro_serve_request_seconds_healthz_bucket")
+        ]
+        assert healthz_buckets == sorted(healthz_buckets)
+        assert healthz_buckets[-1] >= 1
+        assert 'le="+Inf"' in body
+
+    def test_route_labels_are_bounded(self, server):
+        client = Client(server)
+        # Arbitrary sweep names must not mint new metric families.
+        client.request("GET", "/v1/sweeps/alpha/pareto")
+        client.request("GET", "/v1/sweeps/beta/pareto")
+        client.request("GET", "/v2/whatever")
+        client.close()
+        _, body = self.fetch_metrics(server)
+        assert "repro_serve_request_seconds_sweep_pareto_count 2" in body
+        assert "alpha" not in body and "beta" not in body
+        assert "repro_serve_request_seconds_other_count" in body
+
+    def test_response_size_histogram(self, server):
+        client = Client(server)
+        client.request("GET", "/v1/sweeps")
+        client.close()
+        _, body = self.fetch_metrics(server)
+        assert "# TYPE repro_serve_response_bytes_sweeps_list histogram" in body
+
+
+class TestTraceEndpoint:
+    def test_trace_artifact_served(self, client, service):
+        client.request("POST", "/v1/sweeps", body={"name": "tr1"})
+        wait_done(service, "tr1")
+        response, trace = client.request("GET", "/v1/sweeps/tr1/trace")
+        assert response.status == 200
+        assert trace["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "explore.total" in names
+        # The artifact survives on disk alongside the event log.
+        assert service.trace_path("tr1").exists()
+
+    def test_trace_of_unknown_sweep_404(self, client):
+        response, data = client.request("GET", "/v1/sweeps/ghost/trace")
+        assert response.status == 404
+
+    def test_trace_of_store_served_sweep_404(self, client, service):
+        """A store hit never ran an explore here, so there is no trace
+        artifact -- the endpoint must say so rather than serve a stale
+        file or crash."""
+        client.request("POST", "/v1/sweeps", body={"name": "tr2"})
+        wait_done(service, "tr2")
+        service.trace_path("tr2").unlink()  # simulate artifact loss
+        response, data = client.request("GET", "/v1/sweeps/tr2/trace")
+        assert response.status == 404
+        assert "trace" in data["error"]

@@ -12,6 +12,7 @@ from repro.core.tracing import (
     TRACE_SNAPSHOT_VERSION,
     Tracer,
     chrome_trace,
+    merge_chrome_traces,
     write_chrome_trace,
 )
 
@@ -24,12 +25,17 @@ def validate_chrome_trace(payload: dict) -> list[dict]:
     events = payload["traceEvents"]
     assert isinstance(events, list) and events
     for event in events:
-        assert event["ph"] in {"X", "i", "M"}
+        assert event["ph"] in {"X", "i", "M", "C"}
         assert isinstance(event["pid"], int)
         assert isinstance(event["tid"], int)
         if event["ph"] == "M":
             assert event["name"] == "process_name"
             assert event["args"]["name"]
+        elif event["ph"] == "C":
+            assert isinstance(event["name"], str) and event["name"]
+            assert isinstance(event["ts"], float)
+            assert event["args"]  # raw counter series, no span bookkeeping
+            assert all(isinstance(v, float) for v in event["args"].values())
         else:
             assert isinstance(event["name"], str) and event["name"]
             assert isinstance(event["ts"], float)
@@ -250,3 +256,160 @@ class TestCrossProcessCounters:
         )
         assert len(result) == space.size
         assert tel.spans["explore.point"].count == space.size
+
+
+class TestClockAlignment:
+    def test_absorb_applies_snapshot_offset(self):
+        driver = Tracer(label="driver")
+        worker = Tracer(label="worker-7")
+        worker.pid = 7
+        worker._lanes = {7: "worker-7"}
+        worker.clock_offset_s = 2.5  # measured by the fleet handshake
+        worker.instant("w")
+        original_t = worker.snapshot()["events"][0]["t"]
+        driver.absorb(worker.snapshot())
+        absorbed = [e for e in driver.snapshot()["events"] if e["name"] == "w"]
+        assert absorbed[0]["t"] == pytest.approx(original_t + 2.5)
+        assert driver.summary()["clock_offsets"] == {"worker-7": 2.5}
+
+    def test_explicit_offset_wins_over_snapshot(self):
+        driver = Tracer()
+        worker = Tracer(label="w")
+        worker.clock_offset_s = 100.0
+        worker.instant("w")
+        snap = worker.snapshot()
+        before = snap["events"][0]["t"]
+        driver.absorb(snap, clock_offset_s=-1.0)
+        (event,) = [e for e in driver.snapshot()["events"] if e["name"] == "w"]
+        assert event["t"] == pytest.approx(before - 1.0)
+
+    def test_json_round_trip_normalises_lane_keys(self):
+        # The fleet wire JSON-encodes snapshots, which stringifies the
+        # int pid keys of the lane table; absorb must re-int them.
+        driver = Tracer(label="driver")
+        worker = Tracer(label="worker-1")
+        worker.pid = 4242
+        worker._lanes = {4242: "worker-1"}
+        worker.instant("w")
+        wire = json.loads(json.dumps(worker.snapshot()))
+        driver.absorb(wire)
+        assert driver.lanes()[4242] == "worker-1"
+        assert all(isinstance(pid, int) for pid in driver.lanes())
+
+
+class TestCounterEvents:
+    def test_counter_records_c_event(self):
+        tracer = Tracer()
+        tracer.counter("resources.rss_mb", value=123.0)
+        (event,) = tracer.snapshot()["events"]
+        assert event["ph"] == "C"
+        assert event["args"] == {"value": 123.0}
+        assert event["parent"] is None
+
+    def test_chrome_export_keeps_counter_args_raw(self):
+        tracer = Tracer()
+        tracer.counter("resources.threads", value=4)
+        exported = chrome_trace(tracer.snapshot())
+        counters = [e for e in exported["traceEvents"] if e["ph"] == "C"]
+        assert counters[0]["args"] == {"value": 4.0}
+        assert "span_id" not in counters[0]["args"]
+        assert "dur" not in counters[0]
+        validate_chrome_trace(exported)
+
+
+class TestDropAccounting:
+    def test_one_time_drop_warning(self, caplog):
+        tracer = Tracer(label="tiny", max_events=1)
+        with caplog.at_level("WARNING", logger="repro.tracing"):
+            tracer.instant("kept")
+            tracer.instant("dropped-1")
+            tracer.instant("dropped-2")
+        warnings = [r for r in caplog.records if "max_events" in r.getMessage()]
+        assert len(warnings) == 1  # loud once, not once per event
+        assert tracer.dropped == 2
+
+    def test_dropped_by_lane_in_summary(self):
+        driver = Tracer(label="driver")
+        worker = Tracer(label="worker-3", max_events=1)
+        worker.instant("kept")
+        worker.instant("lost")
+        driver.absorb(worker.snapshot())
+        summary = driver.summary()
+        assert summary["dropped_by_lane"] == {"worker-3": 1}
+        assert summary["dropped"] == 1
+
+    def test_drain_clears_local_drop_count(self):
+        tracer = Tracer(label="w", max_events=1)
+        tracer.instant("kept")
+        tracer.instant("lost")
+        snap = tracer.snapshot(drain=True)
+        assert snap["dropped"] == 1
+        assert tracer.snapshot()["dropped"] == 0
+
+
+class TestMergeChromeTraces:
+    def _trace_for(self, label: str, pid: int, at_s: float) -> dict:
+        tracer = Tracer(label=label)
+        tracer.pid = pid
+        tracer._lanes = {pid: label}
+        token = tracer.start("work")
+        tracer.finish(token)
+        payload = chrome_trace(tracer.snapshot())
+        for event in payload["traceEvents"]:
+            if event["ph"] != "M":
+                event["ts"] = at_s * 1e6  # pin for deterministic arithmetic
+        return payload
+
+    def test_merge_preserves_distinct_lanes(self):
+        a = self._trace_for("host-a", 100, at_s=0.0)
+        b = self._trace_for("host-b", 200, at_s=0.0)
+        merged = merge_chrome_traces([a, b])
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names == {100: "host-a", 200: "host-b"}
+        validate_chrome_trace(merged)
+
+    def test_colliding_pids_remapped(self):
+        a = self._trace_for("host-a", 100, at_s=0.0)
+        b = self._trace_for("host-b", 100, at_s=0.0)  # same pid, other host
+        merged = merge_chrome_traces([a, b])
+        lanes = {
+            e["pid"]: e["args"]["name"]
+            for e in merged["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert len(lanes) == 2 and set(lanes.values()) == {"host-a", "host-b"}
+        remapped = [pid for pid, name in lanes.items() if name == "host-b"]
+        assert remapped != [100]
+        # The remapped file's events moved with its metadata.
+        xs = [e for e in merged["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in xs} == set(lanes)
+
+    def test_offsets_shift_timestamps(self):
+        a = self._trace_for("a", 1, at_s=10.0)
+        b = self._trace_for("b", 2, at_s=10.0)
+        merged = merge_chrome_traces([a, b], offsets_s=[0.0, 3.0])
+        by_pid = {
+            e["pid"]: e["ts"] for e in merged["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_pid[2] - by_pid[1] == pytest.approx(3.0 * 1e6)
+
+    def test_align_anchors_to_first_trace(self):
+        a = self._trace_for("a", 1, at_s=100.0)
+        b = self._trace_for("b", 2, at_s=900.0)  # captured on a skewed clock
+        merged = merge_chrome_traces([a, b], align=True)
+        stamps = [e["ts"] for e in merged["traceEvents"] if e["ph"] == "X"]
+        assert max(stamps) - min(stamps) < 10e6  # lanes now overlap
+
+    def test_offsets_and_align_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            merge_chrome_traces([], offsets_s=[], align=True)
+        with pytest.raises(ValueError, match="offsets"):
+            merge_chrome_traces([{"traceEvents": []}], offsets_s=[0.0, 1.0])
+
+    def test_rejects_non_traces(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            merge_chrome_traces([{"nope": 1}])
